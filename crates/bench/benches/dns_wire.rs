@@ -1,0 +1,48 @@
+//! Microbenchmarks of the DNS codec — the per-packet cost every
+//! simulated server pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dns_wire::{Message, Name, RData, Record, RrClass, RrType};
+use std::net::Ipv4Addr;
+
+fn typical_response() -> Message {
+    let name = Name::parse("video.demo1.mycdn.ciab.test").unwrap();
+    let mut m = Message::query(0x2020, name.clone(), RrType::A);
+    m.header.is_response = true;
+    m.answers.push(Record::new(
+        name.clone(),
+        RrClass::In,
+        30,
+        RData::Cname(Name::parse("cache-1.mycdn.ciab.test").unwrap()),
+    ));
+    m.answers.push(Record::new(
+        Name::parse("cache-1.mycdn.ciab.test").unwrap(),
+        RrClass::In,
+        30,
+        RData::A(Ipv4Addr::new(10, 96, 0, 20)),
+    ));
+    m
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = typical_response();
+    let bytes = msg.encode().unwrap();
+    c.bench_function("encode_typical_response", |b| {
+        b.iter(|| black_box(&msg).encode().unwrap())
+    });
+    c.bench_function("decode_typical_response", |b| {
+        b.iter(|| Message::decode(black_box(&bytes)).unwrap())
+    });
+    let q = Message::query(1, Name::parse("a0.muscache.com").unwrap(), RrType::A);
+    let qbytes = q.encode().unwrap();
+    c.bench_function("encode_query", |b| b.iter(|| black_box(&q).encode().unwrap()));
+    c.bench_function("decode_query", |b| {
+        b.iter(|| Message::decode(black_box(&qbytes)).unwrap())
+    });
+    c.bench_function("name_parse", |b| {
+        b.iter(|| Name::parse(black_box("video.demo1.mycdn.ciab.test")).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

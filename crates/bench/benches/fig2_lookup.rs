@@ -1,0 +1,22 @@
+//! Regenerates Figure 2/3 end to end and times the whole run — the
+//! benchmark form of the paper's §2 measurement campaign.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mec_cdn::experiments::fig2_fig3;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig2_fig3_full_campaign", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (fig2, fig3) = fig2_fig3(black_box(seed));
+            black_box((fig2.bars.len(), fig3.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

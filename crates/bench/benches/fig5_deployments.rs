@@ -1,0 +1,35 @@
+//! Regenerates Figure 5 — one full testbed run per deployment — and
+//! times individual deployments (the ablation of DESIGN.md decision 2:
+//! collocating C-DNS vs only L-DNS at MEC).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mec_cdn::{Deployment, DeploymentKind, TestbedConfig};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for kind in [
+        DeploymentKind::MecLdnsMecCdns,
+        DeploymentKind::MecLdnsLanCdns,
+        DeploymentKind::CloudflareDns,
+    ] {
+        group.bench_function(format!("fig5_{}", kind.label().replace([' ', '/'], "_")), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = TestbedConfig {
+                    seed,
+                    queries: 12,
+                    ..TestbedConfig::default()
+                };
+                let mut d = Deployment::build(black_box(kind), &cfg);
+                let (measured, split) = d.run_measure();
+                black_box((measured.len(), split.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

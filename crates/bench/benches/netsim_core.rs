@@ -1,0 +1,132 @@
+//! Simulator core throughput: events per second of virtual-time
+//! processing — the budget every experiment spends from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netsim::{Datagram, Latency, LinkProfile, Network, NodeBehavior, NodeContext, SimDuration};
+use std::net::IpAddr;
+
+/// Ping-pong pair: each delivery triggers the next send, `limit` times.
+struct PingPong {
+    peer: IpAddr,
+    remaining: u32,
+    serve: bool,
+}
+impl NodeBehavior for PingPong {
+    fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+        if !self.serve {
+            ctx.send(self.peer, 7, vec![0u8; 32]);
+        }
+    }
+    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dgram: Datagram) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        ctx.send_datagram(dgram.reply_with(dgram.payload.clone()));
+    }
+}
+
+fn bench_core(c: &mut Criterion) {
+    c.bench_function("pingpong_10k_exchanges", |b| {
+        b.iter(|| {
+            let mut net = Network::new(1);
+            let a = net.add_node(
+                "a",
+                ["10.0.0.1".parse::<IpAddr>().unwrap()],
+                PingPong {
+                    peer: "10.0.0.2".parse().unwrap(),
+                    remaining: 10_000,
+                    serve: false,
+                },
+            );
+            let bn = net.add_node(
+                "b",
+                ["10.0.0.2".parse::<IpAddr>().unwrap()],
+                PingPong {
+                    peer: "10.0.0.1".parse().unwrap(),
+                    remaining: 10_000,
+                    serve: true,
+                },
+            );
+            net.connect(a, bn, LinkProfile::with_latency(Latency::ConstantMs(1.0)));
+            net.run();
+            black_box(net.now())
+        })
+    });
+
+    struct TimerStorm {
+        remaining: u32,
+    }
+    impl NodeBehavior for TimerStorm {
+        fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+            ctx.set_timer(SimDuration::from_micros(10), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut NodeContext<'_>, _t: netsim::TimerToken, _d: u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(SimDuration::from_micros(10), 0);
+            }
+        }
+    }
+    c.bench_function("timer_chain_100k", |b| {
+        b.iter(|| {
+            let mut net = Network::new(2);
+            net.add_node(
+                "t",
+                ["10.0.0.1".parse::<IpAddr>().unwrap()],
+                TimerStorm { remaining: 100_000 },
+            );
+            net.run();
+            black_box(net.now())
+        })
+    });
+
+    // Multi-hop forwarding through a chain of routers.
+    struct Source {
+        dst: IpAddr,
+        count: u32,
+    }
+    impl NodeBehavior for Source {
+        fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+            for _ in 0..self.count {
+                ctx.send(self.dst, 7, vec![0u8; 64]);
+            }
+        }
+    }
+    struct Sink;
+    impl NodeBehavior for Sink {}
+    struct Hop;
+    impl NodeBehavior for Hop {}
+    c.bench_function("forward_1k_packets_8_hops", |b| {
+        b.iter(|| {
+            let mut net = Network::new(3);
+            let src = net.add_node(
+                "src",
+                ["10.0.0.1".parse::<IpAddr>().unwrap()],
+                Source {
+                    dst: "10.0.9.1".parse().unwrap(),
+                    count: 1_000,
+                },
+            );
+            let mut prev = src;
+            for i in 0..8 {
+                let hop = net.add_node(
+                    &format!("hop{i}"),
+                    [format!("10.0.{}.1", i + 1).parse::<IpAddr>().unwrap()],
+                    Hop,
+                );
+                net.connect(prev, hop, LinkProfile::with_latency(Latency::ConstantMs(0.1)));
+                net.add_default_route(prev, hop);
+                prev = hop;
+            }
+            let sink = net.add_node("sink", ["10.0.9.1".parse::<IpAddr>().unwrap()], Sink);
+            net.connect(prev, sink, LinkProfile::with_latency(Latency::ConstantMs(0.1)));
+            net.add_default_route(prev, sink);
+            net.run();
+            black_box(net.now())
+        })
+    });
+}
+
+criterion_group!(benches, bench_core);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! The resolver cache on hot and cold paths — the mechanism behind §2's
+//! "the cached A records are used for lookup".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dns_server::DnsCache;
+use dns_wire::{Name, RData, Record, RrClass, RrType};
+use netsim::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+fn bench_cache(c: &mut Criterion) {
+    let names: Vec<Name> = (0..1000)
+        .map(|i| Name::parse(&format!("host-{i}.mycdn.ciab.test")).unwrap())
+        .collect();
+    let rec = |n: &Name| {
+        vec![Record::new(
+            n.clone(),
+            RrClass::In,
+            300,
+            RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+        )]
+    };
+    c.bench_function("cache_insert_1000", |b| {
+        b.iter(|| {
+            let mut cache = DnsCache::new(2048);
+            for n in &names {
+                cache.insert(n, RrType::A, rec(n), SimTime::ZERO);
+            }
+            black_box(cache.len())
+        })
+    });
+    let mut warm = DnsCache::new(2048);
+    for n in &names {
+        warm.insert(n, RrType::A, rec(n), SimTime::ZERO);
+    }
+    let t = SimTime::ZERO + SimDuration::from_secs(10);
+    c.bench_function("cache_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % names.len();
+            black_box(warm.get(&names[i], RrType::A, t))
+        })
+    });
+    c.bench_function("cache_miss", |b| {
+        let missing = Name::parse("not-there.mycdn.ciab.test").unwrap();
+        b.iter(|| black_box(warm.get(&missing, RrType::A, t)))
+    });
+    // Eviction pressure: capacity far below the working set.
+    c.bench_function("cache_insert_with_eviction", |b| {
+        b.iter(|| {
+            let mut cache = DnsCache::new(64);
+            for n in &names {
+                cache.insert(n, RrType::A, rec(n), SimTime::ZERO);
+            }
+            black_box(cache.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

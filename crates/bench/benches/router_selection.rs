@@ -1,0 +1,61 @@
+//! Ablation: the Traffic Router's cache-selection strategies (DESIGN.md
+//! decision 5) — cost per routed query for each policy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cdn_sim::{GeoDb, Selection, TrafficRouterPlugin};
+use dns_server::{Plugin, QueryCtx};
+use dns_wire::{Message, Name, RrType};
+use netsim::SimTime;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn router(selection: Selection) -> TrafficRouterPlugin {
+    let caches: Vec<Ipv4Addr> = (0..16).map(|i| Ipv4Addr::new(10, 0, 0, 10 + i)).collect();
+    TrafficRouterPlugin::new(
+        Name::parse("mycdn.ciab.test").unwrap(),
+        vec![Name::parse("video.demo1.mycdn.ciab.test").unwrap()],
+        caches,
+        selection,
+    )
+}
+
+fn geo_selection() -> Selection {
+    let mut db = GeoDb::new(4, 0.1);
+    db.map("203.0.113.0/24".parse().unwrap(), 0);
+    db.map("198.51.100.0/24".parse().unwrap(), 1);
+    let mut cache_sites = HashMap::new();
+    for i in 0..16u8 {
+        cache_sites.insert(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 10 + i)),
+            (i % 4) as usize,
+        );
+    }
+    Selection::Geo { db, cache_sites }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let q = Message::query(
+        1,
+        Name::parse("video.demo1.mycdn.ciab.test").unwrap(),
+        RrType::A,
+    );
+    let ctx = QueryCtx {
+        now: SimTime::ZERO,
+        client: "203.0.113.7".parse().unwrap(),
+        client_port: 40000,
+    };
+    let cases: Vec<(&str, TrafficRouterPlugin)> = vec![
+        ("round_robin", router(Selection::RoundRobin)),
+        ("consistent_hash", router(Selection::ConsistentHash)),
+        ("least_assigned", router(Selection::LeastAssigned)),
+        ("geo", router(geo_selection())),
+    ];
+    for (name, mut r) in cases {
+        c.bench_function(&format!("route_{name}"), |b| {
+            b.iter(|| black_box(r.on_query(&ctx, &q)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! `bench-suite` — the benchmark harness.
+//!
+//! The `repro` binary regenerates every table and figure; the Criterion
+//! benches under `benches/` time the codec, the resolver cache, the
+//! router selection strategies, and one full figure-regeneration run
+//! each for Figures 2 and 5.

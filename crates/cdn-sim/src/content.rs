@@ -1,0 +1,174 @@
+//! The content catalog and the live content index.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+use std::rc::Rc;
+
+/// What exists: object key → size in bytes. Shared by the origin (which
+/// serves everything in it) and workload generators (which request from
+/// it).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    inner: Rc<RefCell<HashMap<String, u32>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers an object.
+    pub fn add(&self, key: &str, size: u32) {
+        self.inner.borrow_mut().insert(key.to_string(), size);
+    }
+
+    /// Object size, if the object exists.
+    pub fn size_of(&self, key: &str) -> Option<u32> {
+        self.inner.borrow().get(key).copied()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// All keys, sorted (deterministic iteration for workloads).
+    pub fn keys(&self) -> Vec<String> {
+        let mut k: Vec<String> = self.inner.borrow().keys().cloned().collect();
+        k.sort();
+        k
+    }
+}
+
+/// Which caches currently hold which objects. Cache servers update it as
+/// they fill and evict; the Traffic Router reads it to satisfy P2
+/// ("pick a cache server which has the content").
+#[derive(Debug, Clone, Default)]
+pub struct ContentIndex {
+    inner: Rc<RefCell<HashMap<String, HashSet<IpAddr>>>>,
+}
+
+impl ContentIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        ContentIndex::default()
+    }
+
+    /// Records that `cache` now holds `key`.
+    pub fn insert(&self, key: &str, cache: IpAddr) {
+        self.inner
+            .borrow_mut()
+            .entry(key.to_string())
+            .or_default()
+            .insert(cache);
+    }
+
+    /// Records that `cache` evicted `key`.
+    pub fn remove(&self, key: &str, cache: IpAddr) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(set) = inner.get_mut(key) {
+            set.remove(&cache);
+            if set.is_empty() {
+                inner.remove(key);
+            }
+        }
+    }
+
+    /// Caches holding `key`, sorted for determinism.
+    pub fn holders(&self, key: &str) -> Vec<IpAddr> {
+        let inner = self.inner.borrow();
+        let mut v: Vec<IpAddr> = inner
+            .get(key)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// True if any cache holds `key`.
+    pub fn is_cached(&self, key: &str) -> bool {
+        self.inner.borrow().contains_key(key)
+    }
+
+    /// True if any object under the given domain prefix is cached —
+    /// the router's "is this domain present at the edge" check.
+    pub fn domain_cached(&self, domain_prefix: &str) -> bool {
+        self.inner
+            .borrow()
+            .keys()
+            .any(|k| k.starts_with(domain_prefix))
+    }
+
+    /// Caches holding *any* object under the given domain prefix, sorted
+    /// — the Traffic Router's content-affinity candidate set.
+    pub fn domain_holders(&self, domain_prefix: &str) -> Vec<IpAddr> {
+        let inner = self.inner.borrow();
+        let mut set: HashSet<IpAddr> = HashSet::new();
+        for (k, holders) in inner.iter() {
+            if k.starts_with(domain_prefix) {
+                set.extend(holders.iter().copied());
+            }
+        }
+        let mut v: Vec<IpAddr> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn catalog_stores_and_lists() {
+        let c = Catalog::new();
+        assert!(c.is_empty());
+        c.add("b/2", 100);
+        c.add("a/1", 50);
+        assert_eq!(c.size_of("a/1"), Some(50));
+        assert_eq!(c.size_of("missing"), None);
+        assert_eq!(c.keys(), vec!["a/1", "b/2"]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn catalog_clones_share_state() {
+        let c = Catalog::new();
+        let c2 = c.clone();
+        c.add("x", 1);
+        assert_eq!(c2.size_of("x"), Some(1));
+    }
+
+    #[test]
+    fn index_tracks_holders() {
+        let idx = ContentIndex::new();
+        assert!(!idx.is_cached("k"));
+        idx.insert("k", ip("10.0.0.1"));
+        idx.insert("k", ip("10.0.0.2"));
+        assert_eq!(idx.holders("k"), vec![ip("10.0.0.1"), ip("10.0.0.2")]);
+        idx.remove("k", ip("10.0.0.1"));
+        assert_eq!(idx.holders("k"), vec![ip("10.0.0.2")]);
+        idx.remove("k", ip("10.0.0.2"));
+        assert!(!idx.is_cached("k"));
+        assert!(idx.holders("k").is_empty());
+    }
+
+    #[test]
+    fn domain_prefix_check() {
+        let idx = ContentIndex::new();
+        idx.insert("video.demo1.mycdn.ciab.test/seg-1", ip("10.0.0.1"));
+        assert!(idx.domain_cached("video.demo1.mycdn.ciab.test/"));
+        assert!(!idx.domain_cached("other.domain/"));
+    }
+}

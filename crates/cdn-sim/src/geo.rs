@@ -1,0 +1,141 @@
+//! GeoIP emulation with bounded accuracy.
+//!
+//! §1 of the paper: *"CDN servers infer the location of the public
+//! gateways using GeoIP lookup and that too with limited accuracy"*.
+//! [`GeoDb`] maps prefixes to site identifiers and, with probability
+//! `error_rate`, deterministically mislocates an address — deterministic
+//! so experiments replay identically.
+
+use netsim::Cidr;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::net::IpAddr;
+
+/// A site (point of presence) identifier.
+pub type SiteId = usize;
+
+/// A prefix → site database with a configurable mislocation rate.
+#[derive(Debug, Clone)]
+pub struct GeoDb {
+    entries: Vec<(Cidr, SiteId)>,
+    sites: usize,
+    error_rate: f64,
+}
+
+impl GeoDb {
+    /// A database over `sites` sites with the given mislocation rate.
+    pub fn new(sites: usize, error_rate: f64) -> Self {
+        assert!(sites > 0, "need at least one site");
+        GeoDb {
+            entries: Vec::new(),
+            sites,
+            error_rate: error_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Maps a prefix to a site.
+    pub fn map(&mut self, prefix: Cidr, site: SiteId) -> &mut Self {
+        assert!(site < self.sites, "site {site} out of range");
+        self.entries.push((prefix, site));
+        self.entries
+            .sort_by_key(|(p, _)| std::cmp::Reverse(p.prefix_len()));
+        self
+    }
+
+    /// Locates `addr`. Longest prefix wins; unknown addresses map to a
+    /// hash-derived site (GeoIP always returns *something*). With
+    /// probability `error_rate` (decided by hashing the address), the
+    /// result is deterministically shifted to a wrong site.
+    pub fn locate(&self, addr: IpAddr) -> SiteId {
+        let base = self
+            .entries
+            .iter()
+            .find(|(p, _)| p.contains(addr))
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| (hash_of(addr, 0) as usize) % self.sites);
+        if self.sites > 1 && self.error_rate > 0.0 {
+            let roll = hash_of(addr, 1) as f64 / u64::MAX as f64;
+            if roll < self.error_rate {
+                // Deterministic wrong answer, never the right one.
+                let shift = 1 + (hash_of(addr, 2) as usize) % (self.sites - 1);
+                return (base + shift) % self.sites;
+            }
+        }
+        base
+    }
+}
+
+fn hash_of(addr: IpAddr, salt: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    salt.hash(&mut h);
+    addr.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn exact_lookup_with_zero_error() {
+        let mut db = GeoDb::new(3, 0.0);
+        db.map("203.0.113.0/24".parse().unwrap(), 1);
+        db.map("198.51.100.0/24".parse().unwrap(), 2);
+        assert_eq!(db.locate(ip("203.0.113.1")), 1);
+        assert_eq!(db.locate(ip("198.51.100.77")), 2);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut db = GeoDb::new(3, 0.0);
+        db.map("10.0.0.0/8".parse().unwrap(), 0);
+        db.map("10.1.0.0/16".parse().unwrap(), 2);
+        assert_eq!(db.locate(ip("10.1.2.3")), 2);
+        assert_eq!(db.locate(ip("10.9.2.3")), 0);
+    }
+
+    #[test]
+    fn unknown_addresses_still_locate_somewhere() {
+        let db = GeoDb::new(4, 0.0);
+        let s = db.locate(ip("8.8.8.8"));
+        assert!(s < 4);
+        // Deterministic.
+        assert_eq!(s, db.locate(ip("8.8.8.8")));
+    }
+
+    #[test]
+    fn error_rate_one_always_mislocates() {
+        let mut db = GeoDb::new(3, 1.0);
+        db.map("203.0.113.0/24".parse().unwrap(), 1);
+        for i in 0..50 {
+            let a = ip(&format!("203.0.113.{i}"));
+            assert_ne!(db.locate(a), 1, "error_rate=1 must never be right");
+        }
+    }
+
+    #[test]
+    fn error_rate_is_roughly_respected() {
+        let mut db = GeoDb::new(4, 0.3);
+        db.map("10.0.0.0/8".parse().unwrap(), 0);
+        let mut wrong = 0;
+        let total = 2000;
+        for i in 0..total {
+            let a = ip(&format!("10.{}.{}.{}", i % 200, (i / 200) % 200, i % 250));
+            if db.locate(a) != 0 {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / total as f64;
+        assert!((0.2..0.4).contains(&rate), "observed error rate {rate}");
+    }
+
+    #[test]
+    fn single_site_never_errors() {
+        let db = GeoDb::new(1, 1.0);
+        assert_eq!(db.locate(ip("1.2.3.4")), 0);
+    }
+}

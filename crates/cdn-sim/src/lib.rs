@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! `cdn-sim` — the CDN substrate, modelled on Apache Traffic Control.
+//!
+//! The paper's prototype uses ATC: a **Traffic Router** (the C-DNS of
+//! Figure 1/4) answering DNS queries for the CDN domain with the address
+//! of a cache server, plus the cache servers themselves. This crate
+//! provides both, and the commercial multi-CDN world the paper measures
+//! in Figures 2–3:
+//!
+//! * [`content::Catalog`] / [`content::ContentIndex`] — what exists at
+//!   the origin, and which caches currently hold which objects (the
+//!   index the Traffic Router consults to satisfy P2: *"C-DNS must pick
+//!   a cache server which has the content"*).
+//! * [`cache::CacheServer`] — an LRU, byte-bounded cache node speaking
+//!   the tiny GET/DATA/MISS protocol of [`protocol`], with miss
+//!   fill-through to a parent tier or the origin.
+//! * [`origin::Origin`] — the content source of last resort.
+//! * [`router::TrafficRouterPlugin`] — the C-DNS as a `dns-server`
+//!   plugin: content-aware cache selection (consistent hash, round
+//!   robin, least-assigned), ECS-aware response scoping, and referral of
+//!   missing content to the next CDN tier (*"C-DNS simply returns the
+//!   address of another C-DNS running at a different CDN tier"*).
+//! * [`commercial::MultiCdnRouter`] — the opaque commercial behaviour
+//!   §2 measures: per-resolver weighted rotation across provider CIDR
+//!   pools (Akamai / Fastly / CloudFront / Edgecast in Figure 3),
+//!   reproducing "requests from a similar geo-location are not
+//!   guaranteed to access the same set of cache servers".
+//! * [`geo::GeoDb`] — GeoIP lookup with configurable inaccuracy (§1's
+//!   "CDN servers infer the location of the public gateways using GeoIP
+//!   lookup and that too with limited accuracy").
+//! * [`client::FetchEngine`] — the client side of the content protocol,
+//!   measuring time-to-content.
+//!
+//! # Modelling note
+//!
+//! Content transfer is a single datagram whose serialization delay is
+//! `size / link bandwidth` — no TCP dynamics. The paper's claims are
+//! about DNS resolution latency; content transfer only needs to scale
+//! sensibly with size and distance, which this does.
+
+pub mod cache;
+pub mod client;
+pub mod commercial;
+pub mod content;
+pub mod geo;
+pub mod origin;
+pub mod protocol;
+pub mod router;
+pub mod tier;
+
+pub use cache::CacheServer;
+pub use client::{FetchEngine, FetchOutcome};
+pub use commercial::{MultiCdnRouter, PoolChoice};
+pub use content::{Catalog, ContentIndex};
+pub use geo::GeoDb;
+pub use origin::Origin;
+pub use router::{Selection, TrafficRouterPlugin};
+pub use tier::{CdnHierarchy, TierSpec};

@@ -1,0 +1,162 @@
+//! Property-based tests for the CDN substrate: protocol fuzz, weighted
+//! rotation exactness, selection stability and geo determinism.
+
+use cdn_sim::protocol::CdnMsg;
+use cdn_sim::{GeoDb, MultiCdnRouter, PoolChoice, Selection, TrafficRouterPlugin};
+use dns_server::{Plugin, PluginDecision, QueryCtx};
+use dns_wire::{Message, Name, RrType};
+use netsim::{Cidr, SimTime};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn ctx(client: IpAddr) -> QueryCtx {
+    QueryCtx {
+        now: SimTime::ZERO,
+        client,
+        client_port: 40000,
+    }
+}
+
+fn answer(p: &mut dyn Plugin, domain: &str, client: IpAddr) -> Option<Ipv4Addr> {
+    let q = Message::query(1, Name::parse(domain).unwrap(), RrType::A);
+    match p.on_query(&ctx(client), &q) {
+        PluginDecision::Respond(r) => r.answer_a_addrs().first().copied(),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn protocol_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = CdnMsg::decode(&bytes);
+    }
+
+    #[test]
+    fn protocol_roundtrip(key in "[a-z0-9./-]{1,40}", size in 0u32..100_000) {
+        for msg in [
+            CdnMsg::Get { key: key.clone() },
+            CdnMsg::Miss { key: key.clone() },
+            CdnMsg::Data { key: key.clone(), size },
+        ] {
+            prop_assert_eq!(CdnMsg::decode(&msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn data_frames_cost_their_size_on_the_wire(key in "[a-z]{1,10}", size in 0u32..50_000) {
+        let frame = CdnMsg::Data { key: key.clone(), size }.encode();
+        // Header floor plus padding to exactly `size` once above it.
+        let header = 1 + 2 + key.len() + 4;
+        prop_assert_eq!(frame.len(), header.max(size as usize));
+    }
+
+    #[test]
+    fn smooth_wrr_matches_weights_exactly_over_whole_cycles(
+        w1 in 1u32..8, w2 in 1u32..8, w3 in 1u32..8,
+    ) {
+        let mut router = MultiCdnRouter::new();
+        let domain = Name::parse("w.test").unwrap();
+        let total = (w1 + w2 + w3) as usize;
+        router.set_default(
+            &domain,
+            vec![
+                PoolChoice::new("A", "10.0.0.0/16", f64::from(w1)),
+                PoolChoice::new("B", "10.1.0.0/16", f64::from(w2)),
+                PoolChoice::new("C", "10.2.0.0/16", f64::from(w3)),
+            ],
+        );
+        let pools: Vec<Cidr> = vec![
+            "10.0.0.0/16".parse().unwrap(),
+            "10.1.0.0/16".parse().unwrap(),
+            "10.2.0.0/16".parse().unwrap(),
+        ];
+        let mut counts = [0usize; 3];
+        // 20 whole cycles: smooth WRR hits the weights exactly.
+        for _ in 0..(20 * total) {
+            let a = answer(&mut router, "w.test", "9.9.9.9".parse().unwrap()).unwrap();
+            let idx = pools
+                .iter()
+                .position(|p| p.contains(IpAddr::V4(a)))
+                .expect("answer inside a pool");
+            counts[idx] += 1;
+        }
+        prop_assert_eq!(counts[0], 20 * w1 as usize);
+        prop_assert_eq!(counts[1], 20 * w2 as usize);
+        prop_assert_eq!(counts[2], 20 * w3 as usize);
+    }
+
+    #[test]
+    fn consistent_hash_is_independent_of_query_order(
+        domains in proptest::collection::vec("[a-z]{1,8}", 1..10),
+    ) {
+        let caches: Vec<Ipv4Addr> = (0..8).map(|i| Ipv4Addr::new(10, 0, 0, 10 + i)).collect();
+        let hosted: Vec<Name> = domains
+            .iter()
+            .map(|d| Name::parse(&format!("{d}.cdn.test")).unwrap())
+            .collect();
+        let build = || {
+            TrafficRouterPlugin::new(
+                Name::parse("cdn.test").unwrap(),
+                hosted.clone(),
+                caches.clone(),
+                Selection::ConsistentHash,
+            )
+        };
+        let mut forward = build();
+        let mut reverse = build();
+        let mut fwd_answers = HashMap::new();
+        for d in &domains {
+            let name = format!("{d}.cdn.test");
+            fwd_answers.insert(
+                d.clone(),
+                answer(&mut forward, &name, "1.1.1.1".parse().unwrap()),
+            );
+        }
+        for d in domains.iter().rev() {
+            let name = format!("{d}.cdn.test");
+            let got = answer(&mut reverse, &name, "2.2.2.2".parse().unwrap());
+            prop_assert_eq!(got, fwd_answers[d], "hash must not depend on history/client");
+        }
+    }
+
+    #[test]
+    fn least_assigned_never_diverges_by_more_than_one(
+        queries in 1usize..100,
+    ) {
+        let caches: Vec<Ipv4Addr> = (0..5).map(|i| Ipv4Addr::new(10, 0, 0, 10 + i)).collect();
+        let mut router = TrafficRouterPlugin::new(
+            Name::parse("cdn.test").unwrap(),
+            vec![Name::parse("v.cdn.test").unwrap()],
+            caches.clone(),
+            Selection::LeastAssigned,
+        );
+        let mut counts: HashMap<Ipv4Addr, usize> = HashMap::new();
+        for _ in 0..queries {
+            let a = answer(&mut router, "v.cdn.test", "1.1.1.1".parse().unwrap()).unwrap();
+            *counts.entry(a).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        let min = caches
+            .iter()
+            .map(|c| counts.get(c).copied().unwrap_or(0))
+            .min()
+            .unwrap();
+        prop_assert!(max - min <= 1, "imbalance {max}-{min} with {queries} queries");
+    }
+
+    #[test]
+    fn geodb_is_deterministic_and_in_range(
+        sites in 1usize..6,
+        error in 0.0f64..1.0,
+        addr in any::<u32>(),
+    ) {
+        let db = GeoDb::new(sites, error);
+        let ip = IpAddr::V4(Ipv4Addr::from(addr));
+        let a = db.locate(ip);
+        prop_assert!(a < sites);
+        prop_assert_eq!(db.locate(ip), a, "GeoDb must be deterministic");
+    }
+}

@@ -1,0 +1,275 @@
+//! A TTL-honouring, capacity-bounded DNS cache.
+//!
+//! The paper's Figure 2 analysis leans on caching behaviour: *"for
+//! popular websites' CDN domains, the A records TTL never expires at
+//! L-DNS and the cached A records are used for lookup"* — which is why
+//! step 2 (the A-DNS CNAME lookup) never appears in their measurements.
+//! This cache reproduces that: positive and negative entries with
+//! absolute expiry in virtual time, TTL decay on read, and LRU eviction
+//! at capacity.
+
+use dns_wire::{Name, Rcode, Record, RrType};
+use netsim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Cache key: canonical name + type.
+fn key(name: &Name, qtype: RrType) -> (String, u16) {
+    (name.canonical(), qtype.to_u16())
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    records: Vec<Record>,
+    rcode: Rcode,
+    expires: SimTime,
+    last_used: SimTime,
+}
+
+/// TTL + LRU cache for DNS answers.
+#[derive(Debug)]
+pub struct DnsCache {
+    entries: HashMap<(String, u16), Entry>,
+    capacity: usize,
+    /// Cache hits served.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+}
+
+impl DnsCache {
+    /// A cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        DnsCache {
+            entries: HashMap::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of live entries (including expired but not yet evicted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stores a positive answer. The entry TTL is the smallest record
+    /// TTL, so no record is ever served beyond its own lifetime.
+    pub fn insert(&mut self, name: &Name, qtype: RrType, records: Vec<Record>, now: SimTime) {
+        if records.is_empty() {
+            return;
+        }
+        let min_ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        if min_ttl == 0 {
+            return; // TTL 0 forbids caching
+        }
+        self.insert_entry(
+            key(name, qtype),
+            Entry {
+                records,
+                rcode: Rcode::NoError,
+                expires: now + SimDuration::from_secs(u64::from(min_ttl)),
+                last_used: now,
+            },
+            now,
+        );
+    }
+
+    /// Stores a negative answer (NXDOMAIN / NoData) for `ttl` — RFC 2308
+    /// negative caching, with the TTL taken from the zone's SOA minimum
+    /// by the caller.
+    pub fn insert_negative(
+        &mut self,
+        name: &Name,
+        qtype: RrType,
+        rcode: Rcode,
+        ttl: u32,
+        now: SimTime,
+    ) {
+        if ttl == 0 {
+            return;
+        }
+        self.insert_entry(
+            key(name, qtype),
+            Entry {
+                records: Vec::new(),
+                rcode,
+                expires: now + SimDuration::from_secs(u64::from(ttl)),
+                last_used: now,
+            },
+            now,
+        );
+    }
+
+    fn insert_entry(&mut self, k: (String, u16), e: Entry, now: SimTime) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&k) {
+            // Evict the least recently used entry, preferring ones that
+            // have already expired.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| (e.expires > now, e.last_used))
+                .map(|(k, _)| k.clone());
+            if let Some(v) = victim {
+                self.entries.remove(&v);
+            }
+        }
+        self.entries.insert(k, e);
+    }
+
+    /// Looks up an answer. On a hit, returns the records with TTLs
+    /// decremented by the time already spent in cache, plus the rcode
+    /// (`NoError` for positive entries). Expired entries are removed.
+    pub fn get(&mut self, name: &Name, qtype: RrType, now: SimTime) -> Option<(Vec<Record>, Rcode)> {
+        let k = key(name, qtype);
+        match self.entries.get_mut(&k) {
+            Some(e) if e.expires > now => {
+                e.last_used = now;
+                let remaining_secs =
+                    (e.expires.as_nanos() - now.as_nanos()) / 1_000_000_000;
+                let records: Vec<Record> = e
+                    .records
+                    .iter()
+                    .map(|r| {
+                        let mut r = r.clone();
+                        r.ttl = r.ttl.min(remaining_secs.max(1) as u32);
+                        r
+                    })
+                    .collect();
+                let rcode = e.rcode;
+                self.hits += 1;
+                Some((records, rcode))
+            }
+            Some(_) => {
+                self.entries.remove(&k);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Drops every entry (used when a deployment switches resolvers).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::{RData, RrClass};
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn a_record(name: &str, ttl: u32) -> Record {
+        Record::new(n(name), RrClass::In, ttl, RData::A(Ipv4Addr::new(1, 2, 3, 4)))
+    }
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn hit_before_expiry_miss_after() {
+        let mut c = DnsCache::new(16);
+        c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 30)], at(0));
+        assert!(c.get(&n("a.test"), RrType::A, at(29)).is_some());
+        assert!(c.get(&n("a.test"), RrType::A, at(31)).is_none());
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn ttl_decays_while_cached() {
+        let mut c = DnsCache::new(16);
+        c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 30)], at(0));
+        let (recs, _) = c.get(&n("a.test"), RrType::A, at(10)).unwrap();
+        assert_eq!(recs[0].ttl, 20);
+    }
+
+    #[test]
+    fn entry_ttl_is_minimum_of_records() {
+        let mut c = DnsCache::new(16);
+        c.insert(
+            &n("a.test"),
+            RrType::A,
+            vec![a_record("a.test", 30), a_record("a.test", 5)],
+            at(0),
+        );
+        assert!(c.get(&n("a.test"), RrType::A, at(4)).is_some());
+        assert!(c.get(&n("a.test"), RrType::A, at(6)).is_none());
+    }
+
+    #[test]
+    fn zero_ttl_is_never_cached() {
+        let mut c = DnsCache::new(16);
+        c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 0)], at(0));
+        assert!(c.get(&n("a.test"), RrType::A, at(0)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn negative_caching() {
+        let mut c = DnsCache::new(16);
+        c.insert_negative(&n("no.test"), RrType::A, Rcode::NxDomain, 10, at(0));
+        let (recs, rcode) = c.get(&n("no.test"), RrType::A, at(5)).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(rcode, Rcode::NxDomain);
+        assert!(c.get(&n("no.test"), RrType::A, at(11)).is_none());
+    }
+
+    #[test]
+    fn case_insensitive_keys() {
+        let mut c = DnsCache::new(16);
+        c.insert(&n("A.Test"), RrType::A, vec![a_record("a.test", 30)], at(0));
+        assert!(c.get(&n("a.TEST"), RrType::A, at(1)).is_some());
+    }
+
+    #[test]
+    fn type_is_part_of_the_key() {
+        let mut c = DnsCache::new(16);
+        c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 30)], at(0));
+        assert!(c.get(&n("a.test"), RrType::Aaaa, at(1)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut c = DnsCache::new(2);
+        c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 300)], at(0));
+        c.insert(&n("b.test"), RrType::A, vec![a_record("b.test", 300)], at(1));
+        // Touch `a` so `b` becomes the LRU victim on same expiry basis.
+        assert!(c.get(&n("a.test"), RrType::A, at(2)).is_some());
+        c.insert(&n("c.test"), RrType::A, vec![a_record("c.test", 100)], at(3));
+        assert_eq!(c.len(), 2);
+        // Neither entry has expired, so last_used decides: `b` is older.
+        assert!(c.get(&n("b.test"), RrType::A, at(4)).is_none());
+        assert!(c.get(&n("a.test"), RrType::A, at(4)).is_some());
+        assert!(c.get(&n("c.test"), RrType::A, at(4)).is_some());
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = DnsCache::new(4);
+        c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 30)], at(0));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        DnsCache::new(0);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! `dns-server` — DNS servers and resolvers over the simulator.
+//!
+//! This crate is the DNS half of the MEC-CDN reproduction. It provides:
+//!
+//! * [`zone::Zone`] — authoritative data with answers, CNAMEs, referrals
+//!   (NS + glue) and negative answers.
+//! * A CoreDNS-style **plugin chain** ([`plugin::Plugin`]): the paper's
+//!   design §3 ("content mapping to MEC IP addresses can be achieved ...
+//!   by using separate DNS plugins for handling the two namespaces
+//!   differently") maps directly onto this. Included plugins:
+//!   [`plugins::CachePlugin`], [`plugins::KubernetesPlugin`] (backed by
+//!   the orchestrator's service registry, with split-horizon views),
+//!   [`plugins::StubDomainPlugin`] (the CoreDNS stub-domain mechanism the
+//!   prototype uses to hand the CDN zone to the Traffic Router),
+//!   [`plugins::ForwardPlugin`] and [`plugins::AuthoritativePlugin`].
+//! * [`server::DnsServer`] — a [`netsim::NodeBehavior`] that runs a
+//!   plugin chain with a per-query processing-delay model, forwarding
+//!   state, retries, and a full **iterative resolver** (root → TLD →
+//!   authoritative, CNAME chasing, glue handling) for the
+//!   [`plugins::RecursePlugin`].
+//! * [`stub::StubEngine`] — the client side: unicast, multicast (the
+//!   paper's "DNS requests be multicast to both MEC DNS and the
+//!   network's L-DNS") and fallback-on-timeout strategies, with RTT
+//!   measurement per query.
+//! * EDNS Client Subnet end to end: stubs and forwarders can attach ECS,
+//!   servers model its extra processing cost, and answers can be scoped.
+//!
+//! # Omitted (deliberately)
+//!
+//! * TCP fallback and truncation — every response in the workspace fits
+//!   the UDP payload budget.
+//! * DNSSEC — orthogonal to the latency argument of the paper.
+
+pub mod cache;
+pub mod plugin;
+pub mod plugins;
+pub mod server;
+pub mod stub;
+pub mod zone;
+
+pub use cache::DnsCache;
+pub use plugin::{Plugin, PluginDecision, QueryCtx};
+pub use server::{DnsServer, ServerConfig};
+pub use stub::{QueryOutcome, SendStrategy, StubEngine};
+pub use zone::{LookupResult, Zone};

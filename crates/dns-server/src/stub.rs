@@ -1,0 +1,288 @@
+//! The client-side stub resolver engine.
+//!
+//! A UE (or any client behavior) embeds a [`StubEngine`] and delegates
+//! datagrams and timers to it. The engine supports the three dispatch
+//! strategies §3 of the paper discusses for connecting end users to the
+//! MEC L-DNS:
+//!
+//! * [`SendStrategy::Unicast`] — the ordinary single-resolver case.
+//! * [`SendStrategy::Multicast`] — *"have DNS requests be multicast to
+//!   both MEC DNS and the network's L-DNS"*; the first answer wins.
+//! * [`SendStrategy::FallbackOnTimeout`] — *"or even be forwarded to
+//!   L-DNS on timeout from MEC DNS"*.
+//!
+//! Every completed query yields a [`QueryOutcome`] carrying the RTT the
+//! paper's figures plot.
+
+use dns_wire::{ClientSubnet, Message, Name, Rcode, RrType};
+use netsim::{Datagram, NodeContext, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// Timer tag the engine uses; client behaviors embedding an engine must
+/// keep their own timer data below this bit.
+const TAG_STUB: u64 = 0xD5 << 56;
+const TAG_MASK: u64 = 0xFF << 56;
+
+/// Where (and how) a query is sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendStrategy {
+    /// One resolver, with retries on timeout.
+    Unicast(IpAddr),
+    /// Several resolvers at once; first answer wins, the rest are
+    /// ignored.
+    Multicast(Vec<IpAddr>),
+    /// Ask `primary`; if no answer within `timeout`, ask `fallback`
+    /// (while still accepting a late primary answer).
+    FallbackOnTimeout {
+        /// First choice (the MEC DNS).
+        primary: IpAddr,
+        /// Second choice (the provider's L-DNS).
+        fallback: IpAddr,
+        /// How long to give the primary.
+        timeout: SimDuration,
+    },
+}
+
+/// The result of one completed (or failed) query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Caller-supplied correlation tag.
+    pub tag: u64,
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub qtype: RrType,
+    /// Response code, or `ServFail` on total timeout.
+    pub rcode: Rcode,
+    /// A-record addresses in the answer.
+    pub addrs: Vec<Ipv4Addr>,
+    /// CNAME chain observed in the answer, in order.
+    pub cnames: Vec<Name>,
+    /// Time from first transmission to the accepted answer.
+    pub rtt: SimDuration,
+    /// Resolver that provided the accepted answer.
+    pub responder: Option<IpAddr>,
+    /// True when no resolver answered at all.
+    pub timed_out: bool,
+    /// True when the answer came from the fallback resolver.
+    pub used_fallback: bool,
+    /// Scope prefix of the ECS option in the response, if any.
+    pub ecs_scope: Option<u8>,
+}
+
+struct Pending {
+    tag: u64,
+    name: Name,
+    qtype: RrType,
+    strategy: SendStrategy,
+    started: SimTime,
+    retries_left: u8,
+    fallback_sent: bool,
+    ecs: Option<ClientSubnet>,
+}
+
+/// Client-side query engine: id allocation, retries, multicast and
+/// fallback, and RTT accounting.
+pub struct StubEngine {
+    pending: HashMap<u16, Pending>,
+    next_id: u16,
+    /// Timeout for unicast retries and for declaring total failure.
+    pub query_timeout: SimDuration,
+    /// Unicast retries before giving up.
+    pub retries: u8,
+    /// Completed queries, in completion order.
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+impl Default for StubEngine {
+    fn default() -> Self {
+        StubEngine::new()
+    }
+}
+
+impl StubEngine {
+    /// An engine with the defaults used throughout the experiments:
+    /// 3-second timeout, 1 retry.
+    pub fn new() -> Self {
+        StubEngine {
+            pending: HashMap::new(),
+            next_id: 1,
+            query_timeout: SimDuration::from_secs(3),
+            retries: 1,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// True if the timer `data` belongs to this engine and must be passed
+    /// to [`StubEngine::on_timer`].
+    pub fn owns_timer(data: u64) -> bool {
+        data & TAG_MASK == TAG_STUB
+    }
+
+    /// Number of queries still awaiting an answer.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Issues a query. `tag` is returned in the outcome for correlation;
+    /// `ecs` optionally attaches a client-subnet option (the §4 ECS
+    /// experiments).
+    pub fn issue(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        name: Name,
+        qtype: RrType,
+        strategy: SendStrategy,
+        ecs: Option<ClientSubnet>,
+        tag: u64,
+    ) -> u16 {
+        let id = self.alloc_id();
+        let pending = Pending {
+            tag,
+            name: name.clone(),
+            qtype,
+            strategy: strategy.clone(),
+            started: ctx.now(),
+            retries_left: self.retries,
+            fallback_sent: false,
+            ecs,
+        };
+        self.pending.insert(id, pending);
+        match &strategy {
+            SendStrategy::Unicast(server) => {
+                self.transmit(ctx, id, *server);
+                ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
+            }
+            SendStrategy::Multicast(servers) => {
+                for s in servers {
+                    self.transmit(ctx, id, *s);
+                }
+                ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
+            }
+            SendStrategy::FallbackOnTimeout {
+                primary, timeout, ..
+            } => {
+                self.transmit(ctx, id, *primary);
+                ctx.set_timer(*timeout, TAG_STUB | u64::from(id));
+            }
+        }
+        id
+    }
+
+    fn alloc_id(&mut self) -> u16 {
+        for _ in 0..=u16::MAX {
+            let id = self.next_id;
+            self.next_id = self.next_id.wrapping_add(1).max(1);
+            if !self.pending.contains_key(&id) {
+                return id;
+            }
+        }
+        panic!("65535 concurrent stub queries");
+    }
+
+    fn transmit(&self, ctx: &mut NodeContext<'_>, id: u16, server: IpAddr) {
+        let p = &self.pending[&id];
+        let mut q = Message::query(id, p.name.clone(), p.qtype);
+        q.header.recursion_desired = true;
+        if let Some(cs) = p.ecs {
+            q = q.with_client_subnet(cs);
+        }
+        let bytes = q.encode().expect("stub query encodes");
+        ctx.send(server, 53, bytes);
+    }
+
+    /// Feeds a datagram to the engine. Returns the completed outcome if
+    /// this datagram finished a query; `None` if it was consumed as a
+    /// duplicate/late answer or was not DNS at all.
+    pub fn on_datagram(
+        &mut self,
+        ctx: &mut NodeContext<'_>,
+        dgram: &Datagram,
+    ) -> Option<QueryOutcome> {
+        let msg = Message::decode(&dgram.payload).ok()?;
+        if !msg.header.is_response {
+            return None;
+        }
+        let pending = self.pending.remove(&msg.header.id)?;
+        let used_fallback = match &pending.strategy {
+            SendStrategy::FallbackOnTimeout { fallback, .. } => dgram.src == *fallback,
+            _ => false,
+        };
+        let mut cnames = Vec::new();
+        for rec in &msg.answers {
+            if let Some(target) = rec.rdata.as_cname() {
+                cnames.push(target.clone());
+            }
+        }
+        let outcome = QueryOutcome {
+            tag: pending.tag,
+            name: pending.name,
+            qtype: pending.qtype,
+            rcode: msg.header.rcode,
+            addrs: msg.answer_a_addrs(),
+            cnames,
+            rtt: ctx.now() - pending.started,
+            responder: Some(dgram.src),
+            timed_out: false,
+            used_fallback,
+            ecs_scope: msg.client_subnet().map(|cs| cs.scope_prefix),
+        };
+        self.outcomes.push(outcome.clone());
+        Some(outcome)
+    }
+
+    /// Feeds an engine timer. Returns a final (failed) outcome when the
+    /// query is abandoned.
+    pub fn on_timer(&mut self, ctx: &mut NodeContext<'_>, data: u64) -> Option<QueryOutcome> {
+        debug_assert!(Self::owns_timer(data));
+        let id = (data & !TAG_MASK) as u16;
+        let p = self.pending.get_mut(&id)?;
+        match p.strategy.clone() {
+            SendStrategy::FallbackOnTimeout { fallback, .. } if !p.fallback_sent => {
+                // Primary silent: engage the fallback, then wait the full
+                // query timeout for either to answer.
+                p.fallback_sent = true;
+                self.transmit(ctx, id, fallback);
+                ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
+                None
+            }
+            SendStrategy::Unicast(server) if p.retries_left > 0 => {
+                p.retries_left -= 1;
+                self.transmit(ctx, id, server);
+                ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
+                None
+            }
+            _ => {
+                let p = self.pending.remove(&id).expect("checked above");
+                let outcome = QueryOutcome {
+                    tag: p.tag,
+                    name: p.name,
+                    qtype: p.qtype,
+                    rcode: Rcode::ServFail,
+                    addrs: Vec::new(),
+                    cnames: Vec::new(),
+                    rtt: ctx.now() - p.started,
+                    responder: None,
+                    timed_out: true,
+                    used_fallback: false,
+                    ecs_scope: None,
+                };
+                self.outcomes.push(outcome.clone());
+                Some(outcome)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_tag_roundtrip() {
+        assert!(StubEngine::owns_timer(TAG_STUB | 42));
+        assert!(!StubEngine::owns_timer(42));
+        assert!(!StubEngine::owns_timer(0x11 << 56));
+    }
+}

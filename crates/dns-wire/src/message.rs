@@ -1,0 +1,382 @@
+//! Whole DNS messages: questions, the four sections, and EDNS handling.
+
+use crate::edns::Opt;
+use crate::error::WireError;
+use crate::header::{Header, Rcode};
+use crate::name::Name;
+use crate::record::{Record, RrClass, RrType};
+use crate::wire::{Reader, Writer};
+use std::fmt;
+
+/// A question: name, type and class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Name being asked about.
+    pub qname: Name,
+    /// Type being asked for.
+    pub qtype: RrType,
+    /// Class, almost always IN.
+    pub qclass: RrClass,
+}
+
+impl Question {
+    /// An IN-class question.
+    pub fn new(qname: Name, qtype: RrType) -> Self {
+        Question {
+            qname,
+            qtype,
+            qclass: RrClass::In,
+        }
+    }
+
+    fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        self.qname.encode(w)?;
+        w.write_u16(self.qtype.to_u16());
+        w.write_u16(self.qclass.to_u16());
+        Ok(())
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Question {
+            qname: Name::decode(r)?,
+            qtype: RrType::from_u16(r.read_u16("qtype")?),
+            qclass: RrClass::from_u16(r.read_u16("qclass")?),
+        })
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} IN {}", self.qname, self.qtype)
+    }
+}
+
+/// A complete DNS message.
+///
+/// The OPT pseudo-record is lifted out of the additional section into the
+/// [`Message::edns`] field on decode and re-serialized on encode, so
+/// application code never sees the TTL/class field abuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Header flags (section counts are derived, not stored).
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section, excluding OPT.
+    pub additionals: Vec<Record>,
+    /// EDNS(0) OPT contents, if the message carries one.
+    pub edns: Option<Opt>,
+}
+
+impl Message {
+    /// A single-question query.
+    pub fn query(id: u16, qname: Name, qtype: RrType) -> Self {
+        Message {
+            header: Header::query(id),
+            questions: vec![Question::new(qname, qtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: None,
+        }
+    }
+
+    /// An empty response template echoing `query`'s id, question, opcode
+    /// and RD bit — what every server in `dns-server` starts from.
+    pub fn response_to(query: &Message) -> Self {
+        let mut header = Header::query(query.header.id);
+        header.is_response = true;
+        header.opcode = query.header.opcode;
+        header.recursion_desired = query.header.recursion_desired;
+        Message {
+            header,
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: None,
+        }
+    }
+
+    /// The first question, if any. DNS in practice carries exactly one.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Sets the response code and returns `self` (builder style).
+    pub fn with_rcode(mut self, rcode: Rcode) -> Self {
+        self.header.rcode = rcode;
+        self
+    }
+
+    /// Attaches an EDNS OPT with a client-subnet option.
+    pub fn with_client_subnet(mut self, ecs: crate::edns::ClientSubnet) -> Self {
+        self.edns
+            .get_or_insert_with(Opt::default)
+            .options
+            .push(crate::edns::EdnsOption::ClientSubnet(ecs));
+        self
+    }
+
+    /// The client-subnet option, if present.
+    pub fn client_subnet(&self) -> Option<&crate::edns::ClientSubnet> {
+        self.edns.as_ref().and_then(|o| o.client_subnet())
+    }
+
+    /// All A-record addresses in the answer section, in order.
+    pub fn answer_a_addrs(&self) -> Vec<std::net::Ipv4Addr> {
+        self.answers.iter().filter_map(|r| r.rdata.as_a()).collect()
+    }
+
+    /// Encodes the message to wire format.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = Writer::new();
+        let arcount = self.additionals.len() + usize::from(self.edns.is_some());
+        let counts = [
+            self.questions.len() as u16,
+            self.answers.len() as u16,
+            self.authorities.len() as u16,
+            arcount as u16,
+        ];
+        self.header.encode(&mut w, counts);
+        for q in &self.questions {
+            q.encode(&mut w)?;
+        }
+        for rec in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            rec.encode(&mut w)?;
+        }
+        if let Some(opt) = &self.edns {
+            opt.to_record()?.encode(&mut w)?;
+        }
+        w.finish()
+    }
+
+    /// Decodes a message from wire format.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let (header, [qd, an, ns, ar]) = Header::decode(&mut r)?;
+        let mut questions = Vec::with_capacity(usize::from(qd));
+        for _ in 0..qd {
+            questions.push(Question::decode(&mut r).map_err(|e| remap_count(e, "question"))?);
+        }
+        let mut answers = Vec::with_capacity(usize::from(an));
+        for _ in 0..an {
+            answers.push(Record::decode(&mut r).map_err(|e| remap_count(e, "answer"))?);
+        }
+        let mut authorities = Vec::with_capacity(usize::from(ns));
+        for _ in 0..ns {
+            authorities.push(Record::decode(&mut r).map_err(|e| remap_count(e, "authority"))?);
+        }
+        let mut additionals = Vec::new();
+        let mut edns = None;
+        for _ in 0..ar {
+            let rec = Record::decode(&mut r).map_err(|e| remap_count(e, "additional"))?;
+            if rec.rrtype() == RrType::Opt {
+                edns = Some(Opt::from_record(&rec)?);
+            } else {
+                additionals.push(rec);
+            }
+        }
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+            edns,
+        })
+    }
+}
+
+/// Converts a truncation error inside a counted section into the clearer
+/// "count exceeds contents" diagnosis.
+fn remap_count(e: WireError, section: &'static str) -> WireError {
+    match e {
+        WireError::Truncated { .. } => WireError::CountMismatch(section),
+        other => other,
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            ";; id {} {} {} q={} an={} ns={} ar={}",
+            self.header.id,
+            if self.header.is_response { "resp" } else { "query" },
+            self.header.rcode,
+            self.questions.len(),
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len(),
+        )?;
+        for q in &self.questions {
+            writeln!(f, ";{q}")?;
+        }
+        for a in &self.answers {
+            writeln!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edns::ClientSubnet;
+    use crate::rdata::RData;
+    use std::net::Ipv4Addr;
+
+    fn roundtrip(m: &Message) -> Message {
+        Message::decode(&m.encode().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_query_roundtrips() {
+        let q = Message::query(1, Name::parse("a0.muscache.com").unwrap(), RrType::A);
+        assert_eq!(roundtrip(&q), q);
+    }
+
+    #[test]
+    fn response_echoes_query_metadata() {
+        let mut q = Message::query(42, Name::parse("x.test").unwrap(), RrType::Aaaa);
+        q.header.recursion_desired = true;
+        let r = Message::response_to(&q);
+        assert!(r.header.is_response);
+        assert_eq!(r.header.id, 42);
+        assert!(r.header.recursion_desired);
+        assert_eq!(r.questions, q.questions);
+    }
+
+    #[test]
+    fn full_sections_roundtrip() {
+        let zone = Name::parse("mycdn.ciab.test").unwrap();
+        let mut m = Message::query(7, zone.child("video").unwrap(), RrType::A);
+        m.header.is_response = true;
+        m.header.authoritative = true;
+        m.answers.push(Record::new(
+            zone.child("video").unwrap(),
+            RrClass::In,
+            30,
+            RData::Cname(zone.child("cache-1").unwrap()),
+        ));
+        m.answers.push(Record::new(
+            zone.child("cache-1").unwrap(),
+            RrClass::In,
+            30,
+            RData::A(Ipv4Addr::new(10, 96, 0, 10)),
+        ));
+        m.authorities.push(Record::new(
+            zone.clone(),
+            RrClass::In,
+            3600,
+            RData::Ns(zone.child("ns1").unwrap()),
+        ));
+        m.additionals.push(Record::new(
+            zone.child("ns1").unwrap(),
+            RrClass::In,
+            3600,
+            RData::A(Ipv4Addr::new(10, 96, 0, 2)),
+        ));
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn edns_is_lifted_and_relowered() {
+        let cs = ClientSubnet::query("172.16.0.0".parse().unwrap(), 12);
+        let m = Message::query(9, Name::parse("e.test").unwrap(), RrType::A)
+            .with_client_subnet(cs);
+        let bytes = m.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.client_subnet(), Some(&cs));
+        assert!(back.additionals.is_empty());
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn arcount_includes_opt() {
+        let m = Message::query(9, Name::parse("e.test").unwrap(), RrType::A)
+            .with_client_subnet(ClientSubnet::query("10.0.0.0".parse().unwrap(), 8));
+        let bytes = m.encode().unwrap();
+        // arcount lives at offset 10..12
+        assert_eq!(u16::from_be_bytes([bytes[10], bytes[11]]), 1);
+    }
+
+    #[test]
+    fn count_mismatch_is_diagnosed() {
+        let m = Message::query(3, Name::parse("x.y").unwrap(), RrType::A);
+        let mut bytes = m.encode().unwrap();
+        bytes[5] = 9; // claim 9 questions
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::CountMismatch("question"))
+        );
+    }
+
+    #[test]
+    fn answer_a_addrs_filters_non_a() {
+        let name = Name::parse("m.test").unwrap();
+        let mut m = Message::query(1, name.clone(), RrType::A);
+        m.answers.push(Record::new(
+            name.clone(),
+            RrClass::In,
+            1,
+            RData::Cname(Name::parse("c.test").unwrap()),
+        ));
+        m.answers.push(Record::new(
+            name,
+            RrClass::In,
+            1,
+            RData::A(Ipv4Addr::new(1, 1, 1, 1)),
+        ));
+        assert_eq!(m.answer_a_addrs(), vec![Ipv4Addr::new(1, 1, 1, 1)]);
+    }
+
+    #[test]
+    fn with_rcode_builder() {
+        let m = Message::query(1, Name::parse("x.y").unwrap(), RrType::A)
+            .with_rcode(Rcode::NxDomain);
+        assert_eq!(m.header.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn display_contains_question_and_answer() {
+        let name = Name::parse("q-cf.bstatic.com").unwrap();
+        let mut m = Message::query(5, name.clone(), RrType::A);
+        m.answers.push(Record::new(
+            name,
+            RrClass::In,
+            30,
+            RData::A(Ipv4Addr::new(13, 249, 9, 9)),
+        ));
+        let s = m.to_string();
+        assert!(s.contains("q-cf.bstatic.com."));
+        assert!(s.contains("13.249.9.9"));
+    }
+
+    #[test]
+    fn compression_shrinks_responses() {
+        // A response whose answer repeats the qname should be smaller than
+        // the sum of two independent encodings.
+        let name = Name::parse("static.tacdn.com").unwrap();
+        let mut m = Message::query(5, name.clone(), RrType::A);
+        m.answers.push(Record::new(
+            name.clone(),
+            RrClass::In,
+            30,
+            RData::A(Ipv4Addr::new(151, 101, 1, 1)),
+        ));
+        let len = m.encode().unwrap().len();
+        // header(12) + question(name 18 + 4) + answer(ptr 2 + 10 + 4)
+        assert_eq!(len, 12 + 18 + 4 + 2 + 10 + 4);
+    }
+}

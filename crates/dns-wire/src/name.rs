@@ -1,0 +1,501 @@
+//! Domain names: parsing, comparison and wire encoding with compression.
+
+use crate::error::WireError;
+use crate::wire::{Reader, Writer};
+use std::fmt;
+
+/// Maximum length of a single label in octets (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a whole encoded name in octets (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum number of compression pointers the decoder will follow. Any
+/// legitimate name fits in far fewer; the cap defeats pointer loops.
+const MAX_POINTER_HOPS: usize = 32;
+
+/// A fully-qualified domain name, stored as a sequence of labels.
+///
+/// Names compare and hash case-insensitively, as RFC 1035 §2.3.3 requires,
+/// but preserve the case they were created with for display.
+///
+/// ```
+/// use dns_wire::Name;
+/// let a = Name::parse("Video.Demo1.MyCdn.ciab.test").unwrap();
+/// let b = Name::parse("video.demo1.mycdn.ciab.test.").unwrap();
+/// assert_eq!(a, b);
+/// assert!(a.is_subdomain_of(&Name::parse("mycdn.ciab.test").unwrap()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Name {
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name (zero labels, encoded as a single zero octet).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parses presentation format (`"www.example.com"`, trailing dot
+    /// optional). Rejects empty labels, over-long labels and names, and
+    /// bytes outside the letter/digit/hyphen/underscore set.
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for label in s.split('.') {
+            if label.is_empty() {
+                return Err(WireError::EmptyName);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(label.len()));
+            }
+            for &b in label.as_bytes() {
+                if !(b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+                    return Err(WireError::InvalidLabelByte(b));
+                }
+            }
+            labels.push(label.as_bytes().to_vec());
+        }
+        let name = Name { labels };
+        let encoded = name.encoded_len();
+        if encoded > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(encoded));
+        }
+        Ok(name)
+    }
+
+    /// Builds a name from raw labels (used by the decoder).
+    fn from_labels(labels: Vec<Vec<u8>>) -> Result<Self, WireError> {
+        let name = Name { labels };
+        let encoded = name.encoded_len();
+        if encoded > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(encoded));
+        }
+        Ok(name)
+    }
+
+    /// Number of labels (the root has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over the labels, leftmost (most specific) first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_slice())
+    }
+
+    /// Length of the uncompressed wire encoding, including the root octet.
+    pub fn encoded_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// True if `self` equals `ancestor` or sits below it in the tree.
+    /// Every name is a subdomain of the root.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        self.labels
+            .iter()
+            .rev()
+            .zip(ancestor.labels.iter().rev())
+            .all(|(a, b)| eq_ignore_case(a, b))
+    }
+
+    /// Returns the parent name (one label removed), or `None` at the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            return None;
+        }
+        Some(Name {
+            labels: self.labels[1..].to_vec(),
+        })
+    }
+
+    /// Prepends `label` to produce a child name.
+    pub fn child(&self, label: &str) -> Result<Name, WireError> {
+        if label.is_empty() {
+            return Err(WireError::EmptyName);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(label.len()));
+        }
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.as_bytes().to_vec());
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// Canonical lowercase presentation with a trailing dot; the key used
+    /// for case-insensitive map lookups and compression.
+    pub fn canonical(&self) -> String {
+        if self.labels.is_empty() {
+            return ".".to_string();
+        }
+        let mut s = String::with_capacity(self.encoded_len());
+        for l in &self.labels {
+            for &b in l {
+                s.push(b.to_ascii_lowercase() as char);
+            }
+            s.push('.');
+        }
+        s
+    }
+
+    /// Encodes the name, emitting a compression pointer for the longest
+    /// suffix the writer has already seen.
+    pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        // Walk suffixes from the full name downward; at the first suffix
+        // already present in the writer, emit a pointer and stop.
+        for skip in 0..self.labels.len() {
+            let suffix = Name {
+                labels: self.labels[skip..].to_vec(),
+            };
+            let key = suffix.canonical();
+            if let Some(off) = w.lookup_suffix(&key) {
+                // Emit the labels before the matched suffix, then a pointer.
+                for (i, label) in self.labels[..skip].iter().enumerate() {
+                    let here = Name {
+                        labels: self.labels[i..].to_vec(),
+                    };
+                    w.record_suffix(here.canonical(), w.len());
+                    w.write_u8(label.len() as u8);
+                    w.write_bytes(label);
+                }
+                w.write_u16(0xC000 | off);
+                return Ok(());
+            }
+        }
+        // No suffix matched: emit every label then the root octet.
+        for (i, label) in self.labels.iter().enumerate() {
+            let here = Name {
+                labels: self.labels[i..].to_vec(),
+            };
+            w.record_suffix(here.canonical(), w.len());
+            w.write_u8(label.len() as u8);
+            w.write_bytes(label);
+        }
+        w.write_u8(0);
+        Ok(())
+    }
+
+    /// Decodes a (possibly compressed) name, leaving the reader positioned
+    /// just past the name's first occurrence in the stream.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut hops = 0usize;
+        // After the first pointer we read from a clone so the caller's
+        // cursor stays just past the pointer.
+        let mut cursor = r.clone();
+        let mut jumped = false;
+        loop {
+            let len = cursor.read_u8("name label length")?;
+            match len & 0xC0 {
+                0x00 => {
+                    if len == 0 {
+                        break;
+                    }
+                    let bytes = cursor.read_bytes(len as usize, "name label")?;
+                    labels.push(bytes.to_vec());
+                    if !jumped {
+                        *r = cursor.clone();
+                    }
+                }
+                0xC0 => {
+                    let lo = cursor.read_u8("compression pointer")?;
+                    let target = usize::from(len & 0x3F) << 8 | usize::from(lo);
+                    if !jumped {
+                        *r = cursor.clone();
+                        jumped = true;
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS || target >= cursor.position().saturating_sub(2) {
+                        // Pointers must point strictly backwards.
+                        if target >= cursor.message().len() || hops > MAX_POINTER_HOPS {
+                            return Err(WireError::BadPointer { target });
+                        }
+                    }
+                    cursor.seek(target)?;
+                }
+                other => return Err(WireError::UnsupportedLabelType(other >> 6)),
+            }
+        }
+        if !jumped {
+            *r = cursor;
+        }
+        Name::from_labels(labels)
+    }
+}
+
+fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(&other.labels)
+                .all(|(a, b)| eq_ignore_case(a, b))
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for l in &self.labels {
+            for &b in l {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+            state.write_u8(b'.');
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering: compare label sequences right to left,
+    /// case-insensitively (RFC 4034 §6.1 without the DNSSEC baggage).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let mut a = self.labels.iter().rev();
+        let mut b = other.labels.iter().rev();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return std::cmp::Ordering::Equal,
+                (None, Some(_)) => return std::cmp::Ordering::Less,
+                (Some(_), None) => return std::cmp::Ordering::Greater,
+                (Some(x), Some(y)) => {
+                    let lx: Vec<u8> = x.iter().map(|c| c.to_ascii_lowercase()).collect();
+                    let ly: Vec<u8> = y.iter().map(|c| c.to_ascii_lowercase()).collect();
+                    match lx.cmp(&ly) {
+                        std::cmp::Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for l in &self.labels {
+            for &b in l {
+                write!(f, "{}", b as char)?;
+            }
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(name: &Name) -> Name {
+        let mut w = Writer::new();
+        name.encode(&mut w).unwrap();
+        let buf = w.finish().unwrap();
+        let mut r = Reader::new(&buf);
+        Name::decode(&mut r).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let n = Name::parse("a0.muscache.com").unwrap();
+        assert_eq!(n.to_string(), "a0.muscache.com.");
+        assert_eq!(n.label_count(), 3);
+    }
+
+    #[test]
+    fn trailing_dot_is_optional() {
+        assert_eq!(
+            Name::parse("q-cf.bstatic.com").unwrap(),
+            Name::parse("q-cf.bstatic.com.").unwrap()
+        );
+    }
+
+    #[test]
+    fn root_parses_from_empty_and_dot_suffix_only() {
+        assert!(Name::parse("").unwrap().is_root());
+        assert_eq!(Name::root().to_string(), ".");
+        assert_eq!(Name::root().encoded_len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(Name::parse("a..b").is_err());
+        assert!(Name::parse(&"x".repeat(64)).is_err());
+        assert!(Name::parse("sp ace.com").is_err());
+    }
+
+    #[test]
+    fn rejects_overlong_name() {
+        // 5 labels of 63 octets exceed 255 total.
+        let long = vec!["x".repeat(63); 5].join(".");
+        assert!(matches!(Name::parse(&long), Err(WireError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn equality_ignores_case() {
+        let a = Name::parse("CDN0.Agoda.NET").unwrap();
+        let b = Name::parse("cdn0.agoda.net").unwrap();
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn subdomain_relationships() {
+        let zone = Name::parse("mycdn.ciab.test").unwrap();
+        let host = Name::parse("video.demo1.mycdn.ciab.test").unwrap();
+        assert!(host.is_subdomain_of(&zone));
+        assert!(zone.is_subdomain_of(&zone));
+        assert!(!zone.is_subdomain_of(&host));
+        assert!(host.is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let n = Name::parse("b.c").unwrap();
+        let c = n.child("a").unwrap();
+        assert_eq!(c.to_string(), "a.b.c.");
+        assert_eq!(c.parent().unwrap(), n);
+        assert_eq!(Name::root().parent(), None);
+    }
+
+    #[test]
+    fn wire_roundtrip_simple() {
+        for s in ["static.tacdn.com", "a.cdn.intentmedia.net", ""] {
+            let n = Name::parse(s).unwrap();
+            assert_eq!(roundtrip(&n), n);
+        }
+    }
+
+    #[test]
+    fn compression_points_to_shared_suffix() {
+        let mut w = Writer::new();
+        Name::parse("www.example.com").unwrap().encode(&mut w).unwrap();
+        let before = w.len();
+        Name::parse("mail.example.com").unwrap().encode(&mut w).unwrap();
+        // "mail" label (5 bytes) + pointer (2 bytes) = 7 bytes, far less
+        // than the 18 an uncompressed encoding would need.
+        assert_eq!(w.len() - before, 7);
+        let buf = w.finish().unwrap();
+        let mut r = Reader::new(&buf);
+        assert_eq!(Name::decode(&mut r).unwrap().to_string(), "www.example.com.");
+        assert_eq!(
+            Name::decode(&mut r).unwrap().to_string(),
+            "mail.example.com."
+        );
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn identical_name_compresses_to_lone_pointer() {
+        let mut w = Writer::new();
+        let n = Name::parse("x.y.z").unwrap();
+        n.encode(&mut w).unwrap();
+        let before = w.len();
+        n.encode(&mut w).unwrap();
+        assert_eq!(w.len() - before, 2);
+    }
+
+    #[test]
+    fn decode_rejects_pointer_loop() {
+        // A pointer at offset 0 pointing to itself.
+        let buf = [0xC0, 0x00];
+        let mut r = Reader::new(&buf);
+        assert!(Name::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer_out_of_range() {
+        let buf = [0xC0, 0x7F];
+        let mut r = Reader::new(&buf);
+        assert!(Name::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unsupported_label_type() {
+        let buf = [0x80, 0x01, b'a', 0x00];
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            Name::decode(&mut r),
+            Err(WireError::UnsupportedLabelType(0b10))
+        );
+    }
+
+    #[test]
+    fn reader_position_is_past_first_occurrence_after_pointer() {
+        // message: name1 = "a." at 0..3, then name2 = pointer to 0, then 0xFF
+        let mut w = Writer::new();
+        Name::parse("a").unwrap().encode(&mut w).unwrap();
+        Name::parse("a").unwrap().encode(&mut w).unwrap();
+        w.write_u8(0xFF);
+        let buf = w.finish().unwrap();
+        let mut r = Reader::new(&buf);
+        Name::decode(&mut r).unwrap();
+        Name::decode(&mut r).unwrap();
+        assert_eq!(r.read_u8("sentinel").unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn ordering_is_right_to_left() {
+        let mut names = [Name::parse("b.example.com").unwrap(),
+            Name::parse("example.com").unwrap(),
+            Name::parse("a.example.com").unwrap(),
+            Name::parse("example.net").unwrap()];
+        names.sort();
+        let strs: Vec<String> = names.iter().map(|n| n.to_string()).collect();
+        assert_eq!(
+            strs,
+            vec![
+                "example.com.",
+                "a.example.com.",
+                "b.example.com.",
+                "example.net."
+            ]
+        );
+    }
+
+    #[test]
+    fn canonical_lowercases_and_ends_with_dot() {
+        assert_eq!(Name::parse("A.B").unwrap().canonical(), "a.b.");
+        assert_eq!(Name::root().canonical(), ".");
+    }
+}

@@ -1,0 +1,222 @@
+//! Low-level cursors for reading and writing DNS wire format.
+//!
+//! [`Reader`] tracks a position in a borrowed byte slice and can follow
+//! RFC 1035 compression pointers without losing its place. [`Writer`]
+//! appends to an owned buffer and remembers where each name suffix was
+//! written so later names can emit compression pointers.
+
+use crate::error::WireError;
+use std::collections::HashMap;
+
+/// Maximum encoded message size (16-bit length fields everywhere).
+pub const MAX_MESSAGE_LEN: usize = u16::MAX as usize;
+
+/// A bounds-checked cursor over a received message.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the message.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the cursor to an absolute offset (used to follow pointers).
+    pub fn seek(&mut self, pos: usize) -> Result<(), WireError> {
+        if pos > self.buf.len() {
+            return Err(WireError::BadPointer { target: pos });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Bytes left after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whole underlying message (needed for pointer targets).
+    pub fn message(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Reads one octet.
+    pub fn read_u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        if self.pos >= self.buf.len() {
+            return Err(WireError::Truncated { expected: what });
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a big-endian 16-bit value.
+    pub fn read_u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let hi = self.read_u8(what)?;
+        let lo = self.read_u8(what)?;
+        Ok(u16::from(hi) << 8 | u16::from(lo))
+    }
+
+    /// Reads a big-endian 32-bit value.
+    pub fn read_u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let hi = self.read_u16(what)?;
+        let lo = self.read_u16(what)?;
+        Ok(u32::from(hi) << 16 | u32::from(lo))
+    }
+
+    /// Reads exactly `n` bytes.
+    pub fn read_bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { expected: what });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+/// An appending encoder with name-compression state.
+///
+/// The compression map records, for every name suffix already emitted, the
+/// offset of its first label. A later name whose suffix matches emits a
+/// two-byte pointer instead of repeating the labels — the behaviour real
+/// resolvers rely on to keep responses under the UDP payload limit.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+    /// Lowercased suffix presentation → offset of its first label.
+    names: HashMap<String, u16>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded message.
+    pub fn finish(self) -> Result<Vec<u8>, WireError> {
+        if self.buf.len() > MAX_MESSAGE_LEN {
+            return Err(WireError::MessageTooLong(self.buf.len()));
+        }
+        Ok(self.buf)
+    }
+
+    /// Appends one octet.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian 16-bit value.
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian 32-bit value.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn write_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrites the big-endian 16-bit value at `at` (used to back-patch
+    /// RDLENGTH after the record data is known).
+    pub fn patch_u16(&mut self, at: usize, v: u16) {
+        let b = v.to_be_bytes();
+        self.buf[at] = b[0];
+        self.buf[at + 1] = b[1];
+    }
+
+    /// Looks up a previously written name suffix.
+    pub(crate) fn lookup_suffix(&self, key: &str) -> Option<u16> {
+        self.names.get(key).copied()
+    }
+
+    /// Records that the suffix `key` starts at `offset`. Offsets beyond the
+    /// 14-bit pointer range are not recorded (pointers cannot reach them).
+    pub(crate) fn record_suffix(&mut self, key: String, offset: usize) {
+        if offset <= 0x3FFF {
+            self.names.entry(key).or_insert(offset as u16);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_reads_scalars_in_network_order() {
+        let data = [0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.read_u8("a").unwrap(), 0x12);
+        assert_eq!(r.read_u16("b").unwrap(), 0x3456);
+        assert_eq!(r.read_u32("c").unwrap(), 0x789A_BCDE);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_errors_on_truncation() {
+        let mut r = Reader::new(&[0x01]);
+        assert_eq!(
+            r.read_u16("len"),
+            Err(WireError::Truncated { expected: "len" })
+        );
+    }
+
+    #[test]
+    fn reader_seek_rejects_out_of_bounds() {
+        let mut r = Reader::new(&[0, 1, 2]);
+        assert!(r.seek(3).is_ok()); // one past the end is the EOF position
+        assert!(r.seek(4).is_err());
+    }
+
+    #[test]
+    fn writer_roundtrips_scalars() {
+        let mut w = Writer::new();
+        w.write_u8(0xAB);
+        w.write_u16(0xCDEF);
+        w.write_u32(0x0102_0304);
+        let buf = w.finish().unwrap();
+        assert_eq!(buf, vec![0xAB, 0xCD, 0xEF, 0x01, 0x02, 0x03, 0x04]);
+    }
+
+    #[test]
+    fn writer_patches_in_place() {
+        let mut w = Writer::new();
+        w.write_u16(0);
+        w.write_u8(0xFF);
+        w.patch_u16(0, 0xBEEF);
+        assert_eq!(w.finish().unwrap(), vec![0xBE, 0xEF, 0xFF]);
+    }
+
+    #[test]
+    fn suffix_offsets_beyond_pointer_range_are_ignored() {
+        let mut w = Writer::new();
+        w.record_suffix("a.example.".into(), 0x4000);
+        assert_eq!(w.lookup_suffix("a.example."), None);
+        w.record_suffix("a.example.".into(), 0x3FFF);
+        assert_eq!(w.lookup_suffix("a.example."), Some(0x3FFF));
+    }
+}

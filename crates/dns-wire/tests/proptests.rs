@@ -1,0 +1,239 @@
+//! Property-based tests for the DNS wire format.
+//!
+//! The central invariants: every message this crate can build encodes and
+//! decodes back to itself, names compare case-insensitively, and the
+//! decoder never panics on arbitrary bytes.
+
+use dns_wire::{
+    ClientSubnet, Message, Name, Opt, Question, RData, Rcode, Record, RrClass, RrType,
+};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9_-]{1,15}").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..6)
+        .prop_map(|labels| Name::parse(&labels.join(".")).unwrap())
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<u32>().prop_map(|v| RData::A(Ipv4Addr::from(v))),
+        any::<u128>().prop_map(|v| RData::Aaaa(Ipv6Addr::from(v))),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec("[ -~]{0,40}", 0..4).prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>()).prop_map(
+            |(mname, rname, serial, refresh)| RData::Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry: 900,
+                expire: 86400,
+                minimum: 60,
+            }
+        ),
+        (any::<u16>(), any::<u16>(), any::<u16>(), arb_name()).prop_map(
+            |(priority, weight, port, target)| RData::Srv {
+                priority,
+                weight,
+                port,
+                target
+            }
+        ),
+        (1000u16..4000, proptest::collection::vec(any::<u8>(), 0..32)).prop_map(
+            |(rrtype, data)| RData::Unknown { rrtype, data }
+        ),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, RrClass::In, ttl, rdata))
+}
+
+fn arb_ecs() -> impl Strategy<Value = ClientSubnet> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32).prop_map(|(ip, p)| ClientSubnet::query(
+            IpAddr::V4(Ipv4Addr::from(ip)),
+            p
+        )),
+        (any::<u128>(), 0u8..=128).prop_map(|(ip, p)| ClientSubnet::query(
+            IpAddr::V6(Ipv6Addr::from(ip)),
+            p
+        )),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        proptest::collection::vec(arb_record(), 0..5),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::option::of(arb_ecs()),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..6,
+    )
+        .prop_map(
+            |(id, qname, answers, authorities, additionals, ecs, qr, aa, rcode)| {
+                let mut m = Message::query(id, qname, RrType::A);
+                m.header.is_response = qr;
+                m.header.authoritative = aa;
+                m.header.rcode = Rcode::from_u8(rcode);
+                m.answers = answers;
+                m.authorities = authorities;
+                m.additionals = additionals;
+                if let Some(cs) = ecs {
+                    m.edns = Some(Opt::with_client_subnet(cs));
+                }
+                m
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn message_roundtrip(m in arb_message()) {
+        let bytes = m.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reencode_is_stable(m in arb_message()) {
+        // decode(encode(m)) encodes to the identical byte string: the
+        // compression algorithm is deterministic.
+        let bytes = m.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(back.encode().unwrap(), bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_message(
+        m in arb_message(),
+        idx in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = m.encode().unwrap();
+        if !bytes.is_empty() {
+            let i = idx.index(bytes.len());
+            bytes[i] = byte;
+        }
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn name_parse_display_roundtrip(n in arb_name()) {
+        let s = n.to_string();
+        prop_assert_eq!(Name::parse(&s).unwrap(), n);
+    }
+
+    #[test]
+    fn name_equality_is_case_insensitive(n in arb_name()) {
+        let upper = n.to_string().to_ascii_uppercase();
+        let lower = n.to_string().to_ascii_lowercase();
+        prop_assert_eq!(Name::parse(&upper).unwrap(), Name::parse(&lower).unwrap());
+    }
+
+    #[test]
+    fn name_ordering_is_total_and_consistent(a in arb_name(), b in arb_name()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Equal => prop_assert_eq!(&a, &b),
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+        }
+    }
+
+    #[test]
+    fn subdomain_of_parent_always_holds(n in arb_name()) {
+        if let Some(parent) = n.parent() {
+            prop_assert!(n.is_subdomain_of(&parent));
+        }
+        prop_assert!(n.is_subdomain_of(&Name::root()));
+    }
+
+    #[test]
+    fn ecs_truncation_is_idempotent(cs in arb_ecs()) {
+        let again = ClientSubnet::query(cs.addr, cs.source_prefix);
+        prop_assert_eq!(again, cs);
+    }
+
+    #[test]
+    fn ecs_covers_its_own_address(cs in arb_ecs()) {
+        prop_assert!(cs.covers(cs.addr));
+    }
+
+    #[test]
+    fn compressed_encoding_never_larger_than_uncompressed(
+        qname in arb_name(),
+        answers in proptest::collection::vec(arb_record(), 0..6),
+    ) {
+        // Upper bound: header + question + each record encoded standalone.
+        let mut m = Message::query(1, qname.clone(), RrType::A);
+        m.answers = answers.clone();
+        let len = m.encode().unwrap().len();
+        let mut upper = 12 + qname.encoded_len() + 4;
+        for rec in &answers {
+            let mut w = dns_wire::wire::Writer::new();
+            rec.encode(&mut w).unwrap();
+            upper += w.finish().unwrap().len();
+        }
+        prop_assert!(len <= upper, "len {} > upper {}", len, upper);
+    }
+}
+
+#[test]
+fn questions_survive_multi_question_messages() {
+    // Multi-question messages are unusual but legal; the codec must not
+    // assume exactly one.
+    let mut m = Message::query(1, Name::parse("a.test").unwrap(), RrType::A);
+    m.questions
+        .push(Question::new(Name::parse("b.test").unwrap(), RrType::Aaaa));
+    let back = Message::decode(&m.encode().unwrap()).unwrap();
+    assert_eq!(back.questions.len(), 2);
+    assert_eq!(back, m);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn presentation_display_parse_roundtrip(rec in arb_record()) {
+        // TXT with arbitrary characters and unknown types have no
+        // presentation round trip; everything else must.
+        let skip = matches!(
+            rec.rdata,
+            RData::Txt(_) | RData::Unknown { .. } | RData::OptRaw(_)
+        );
+        if !skip {
+            let line = rec.to_string();
+            let back: Record = line.parse().unwrap();
+            prop_assert_eq!(back, rec, "line was {}", line);
+        }
+    }
+
+    #[test]
+    fn presentation_parser_never_panics(line in "[ -~]{0,80}") {
+        let _ = line.parse::<Record>();
+    }
+}

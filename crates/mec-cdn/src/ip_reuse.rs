@@ -1,0 +1,152 @@
+//! §5's public-IP point: CDNs at MEC without dedicated public
+//! addresses.
+//!
+//! *"The proposed design can help promote reuse of public IPs by
+//! assigning the same public IP for CDN domains of the many CDN
+//! customers"* — because clients only ever talk to ClusterIPs, one MEC
+//! address can front every customer's domain, with the orchestrator's
+//! routing (the fabric DNAT) demultiplexing behind it.
+//! [`IpReusePlan`] wires N customer domains onto one shared Traffic
+//! Router + cache service and accounts for the addresses a naive
+//! deployment would have needed instead.
+
+use dns_wire::Name;
+use mec_orch::{Cluster, ServiceHandle, Visibility};
+use std::net::IpAddr;
+
+/// The outcome of planning N customer domains onto shared MEC services.
+#[derive(Debug, Clone)]
+pub struct IpReusePlan {
+    /// The customer domains served.
+    pub domains: Vec<Name>,
+    /// The single client-visible resolver address (MEC L-DNS ClusterIP).
+    pub ldns_ip: IpAddr,
+    /// The single client-visible cache address (cache service
+    /// ClusterIP) every domain's content is served from.
+    pub cache_ip: IpAddr,
+    /// Public IPs a per-customer deployment would need (L-DNS + C-DNS +
+    /// one cache per customer, as §5 lists them).
+    pub naive_public_ips: usize,
+    /// Public IPs this plan needs.
+    pub reused_public_ips: usize,
+}
+
+impl IpReusePlan {
+    /// Exposes each of `domains` through the shared Traffic Router
+    /// service in `cluster`, so they all resolve to one ClusterIP.
+    pub fn apply(
+        cluster: &mut Cluster,
+        router_svc: &ServiceHandle,
+        ldns_svc: &ServiceHandle,
+        cache_svc: &ServiceHandle,
+        domains: &[Name],
+    ) -> IpReusePlan {
+        for d in domains {
+            cluster.expose_domain(router_svc, &d.to_string());
+        }
+        IpReusePlan {
+            domains: domains.to_vec(),
+            ldns_ip: ldns_svc.cluster_ip,
+            cache_ip: cache_svc.cluster_ip,
+            // Per §5: without reuse, each customer exposes its L-DNS,
+            // C-DNS and cache host(s) — three addresses per customer.
+            naive_public_ips: domains.len() * 3,
+            // With the proposal, mobile clients interact with the MEC
+            // L-DNS ClusterIP and the cache ClusterIP only.
+            reused_public_ips: 2,
+        }
+    }
+
+    /// How many addresses the proposal saves.
+    pub fn saved(&self) -> usize {
+        self.naive_public_ips.saturating_sub(self.reused_public_ips)
+    }
+
+    /// Verifies, against the cluster registry, that every domain
+    /// resolves publicly to the same address. Returns that address.
+    pub fn verify(&self, cluster: &Cluster) -> Result<IpAddr, String> {
+        let reg = cluster.registry();
+        let mut shared: Option<IpAddr> = None;
+        for d in &self.domains {
+            match reg.lookup(&d.to_string(), Visibility::Public) {
+                Some(ip) => match shared {
+                    None => shared = Some(ip),
+                    Some(prev) if prev == ip => {}
+                    Some(prev) => {
+                        return Err(format!("{d} resolves to {ip}, others to {prev}"));
+                    }
+                },
+                None => return Err(format!("{d} is not publicly resolvable")),
+            }
+        }
+        shared.ok_or_else(|| "no domains in the plan".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_orch::ClusterConfig;
+    use netsim::{Network, NodeBehavior};
+
+    struct Nop;
+    impl NodeBehavior for Nop {}
+
+    #[test]
+    fn many_domains_share_one_cluster_ip() {
+        let mut net = Network::new(1);
+        let mut cluster = Cluster::new(&mut net, "mec", ClusterConfig::default());
+        cluster.add_namespace("cdn", Visibility::Public);
+        let tr_pod = cluster.launch_pod(&mut net, "cdn", "tr", Nop);
+        let ldns_pod = cluster.launch_pod(&mut net, "cdn", "ldns", Nop);
+        let cache_pod = cluster.launch_pod(&mut net, "cdn", "cache", Nop);
+        let tr = cluster.create_service(&mut net, "cdn", "trafficrouter", &[tr_pod]);
+        let ldns = cluster.create_service(&mut net, "cdn", "coredns", &[ldns_pod]);
+        let cache = cluster.create_service(&mut net, "cdn", "cache", &[cache_pod]);
+        let domains: Vec<Name> = (0..5)
+            .map(|i| Name::parse(&format!("video.customer{i}.mycdn.ciab.test")).unwrap())
+            .collect();
+        let plan = IpReusePlan::apply(&mut cluster, &tr, &ldns, &cache, &domains);
+        assert_eq!(plan.reused_public_ips, 2);
+        assert_eq!(plan.naive_public_ips, 15);
+        assert_eq!(plan.saved(), 13);
+        let shared = plan.verify(&cluster).expect("all domains resolvable");
+        assert_eq!(shared, tr.cluster_ip);
+    }
+
+    #[test]
+    fn verify_detects_divergence() {
+        let mut net = Network::new(2);
+        let mut cluster = Cluster::new(&mut net, "mec", ClusterConfig::default());
+        cluster.add_namespace("cdn", Visibility::Public);
+        let a = cluster.launch_pod(&mut net, "cdn", "a", Nop);
+        let b = cluster.launch_pod(&mut net, "cdn", "b", Nop);
+        let svc_a = cluster.create_service(&mut net, "cdn", "svc-a", &[a]);
+        let svc_b = cluster.create_service(&mut net, "cdn", "svc-b", &[b]);
+        let domains = vec![
+            Name::parse("one.mycdn.ciab.test").unwrap(),
+            Name::parse("two.mycdn.ciab.test").unwrap(),
+        ];
+        let plan = IpReusePlan::apply(&mut cluster, &svc_a, &svc_a, &svc_a, &domains);
+        // Sabotage: point the second domain somewhere else.
+        cluster.expose_domain(&svc_b, "two.mycdn.ciab.test");
+        assert!(plan.verify(&cluster).is_err());
+    }
+
+    #[test]
+    fn verify_detects_missing_domains() {
+        let mut net = Network::new(3);
+        let mut cluster = Cluster::new(&mut net, "mec", ClusterConfig::default());
+        cluster.add_namespace("cdn", Visibility::Public);
+        let a = cluster.launch_pod(&mut net, "cdn", "a", Nop);
+        let svc = cluster.create_service(&mut net, "cdn", "svc", &[a]);
+        let plan = IpReusePlan {
+            domains: vec![Name::parse("ghost.mycdn.ciab.test").unwrap()],
+            ldns_ip: svc.cluster_ip,
+            cache_ip: svc.cluster_ip,
+            naive_public_ips: 3,
+            reused_public_ips: 2,
+        };
+        assert!(plan.verify(&cluster).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! The cluster data path: kube-proxy-style ClusterIP DNAT.
+//!
+//! Every pod attaches to the fabric node; Services are extra addresses on
+//! the fabric. A packet sent to a ClusterIP is DNATed to one endpoint pod
+//! (round-robin, sticky per flow via connection tracking), and the pod's
+//! reply is un-DNATed on its way back so the client only ever sees the
+//! ClusterIP. This is the mechanism behind the paper's §5 observation
+//! that *"mobile clients interact with CDNs by merely using the
+//! Kubernetes cluster IPs"* — pod and host addresses never leak.
+
+use crate::monitor::IngressMonitor;
+use netsim::{Datagram, NodeBehavior, NodeContext};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::rc::Rc;
+
+/// One Service's data-path state.
+#[derive(Debug, Clone)]
+pub(crate) struct ServiceState {
+    /// `namespace/name`, used as the monitoring key.
+    pub key: String,
+    /// Endpoint pod addresses, in creation order.
+    pub endpoints: Vec<IpAddr>,
+    /// Round-robin cursor.
+    pub rr: usize,
+}
+
+/// Shared ClusterIP → service table (the cluster writes, the fabric
+/// reads).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ServiceTable {
+    pub inner: Rc<RefCell<HashMap<IpAddr, ServiceState>>>,
+}
+
+/// Flow key: client address/port plus the server-side address/port the
+/// client used.
+type FlowKey = (IpAddr, u16, IpAddr, u16);
+
+/// The fabric node behavior. Created by [`crate::Cluster::new`]; not
+/// constructed directly.
+pub struct Fabric {
+    services: ServiceTable,
+    monitor: IngressMonitor,
+    /// (client, cport, cluster_ip, port) → chosen endpoint.
+    conntrack: HashMap<FlowKey, IpAddr>,
+    /// (client, cport, endpoint, port) → cluster_ip for reply rewriting.
+    reverse: HashMap<FlowKey, IpAddr>,
+    /// Packets to a ClusterIP with no ready endpoints.
+    pub no_endpoint_drops: u64,
+}
+
+impl Fabric {
+    pub(crate) fn new(services: ServiceTable, monitor: IngressMonitor) -> Self {
+        Fabric {
+            services,
+            monitor,
+            conntrack: HashMap::new(),
+            reverse: HashMap::new(),
+            no_endpoint_drops: 0,
+        }
+    }
+}
+
+impl NodeBehavior for Fabric {
+    /// Packets addressed to a ClusterIP land here.
+    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dgram: Datagram) {
+        let flow: FlowKey = (dgram.src, dgram.src_port, dgram.dst, dgram.dst_port);
+        // Sticky flows: reuse the endpoint conntrack already picked.
+        let endpoint = if let Some(&ep) = self.conntrack.get(&flow) {
+            // The endpoint may have been scaled away since.
+            let table = self.services.inner.borrow();
+            let still_valid = table
+                .get(&dgram.dst)
+                .is_some_and(|s| s.endpoints.contains(&ep));
+            drop(table);
+            if still_valid {
+                Some(ep)
+            } else {
+                self.conntrack.remove(&flow);
+                None
+            }
+        } else {
+            None
+        };
+        let endpoint = match endpoint {
+            Some(ep) => {
+                // Still record the arrival for monitoring.
+                let key = {
+                    let table = self.services.inner.borrow();
+                    table.get(&dgram.dst).map(|s| s.key.clone())
+                };
+                if let Some(key) = key {
+                    self.monitor.record(&key, ctx.now());
+                }
+                ep
+            }
+            None => {
+                let mut table = self.services.inner.borrow_mut();
+                let Some(svc) = table.get_mut(&dgram.dst) else {
+                    // Not a known Service address: silently drop (it is a
+                    // cluster address nobody claimed).
+                    self.no_endpoint_drops += 1;
+                    return;
+                };
+                let key = svc.key.clone();
+                if svc.endpoints.is_empty() {
+                    drop(table);
+                    self.monitor.record(&key, ctx.now());
+                    self.no_endpoint_drops += 1;
+                    return;
+                }
+                let ep = svc.endpoints[svc.rr % svc.endpoints.len()];
+                svc.rr = svc.rr.wrapping_add(1);
+                drop(table);
+                self.monitor.record(&key, ctx.now());
+                self.conntrack.insert(flow, ep);
+                self.reverse
+                    .insert((dgram.src, dgram.src_port, ep, dgram.dst_port), dgram.dst);
+                ep
+            }
+        };
+        ctx.send_datagram(Datagram {
+            dst: endpoint,
+            ..dgram
+        });
+    }
+
+    /// Pod replies pass through here on the way back to the client; the
+    /// source is rewritten to the ClusterIP the client originally used.
+    fn on_forward(
+        &mut self,
+        _ctx: &mut NodeContext<'_>,
+        dgram: Datagram,
+    ) -> netsim::node::ForwardAction {
+        let key: FlowKey = (dgram.dst, dgram.dst_port, dgram.src, dgram.src_port);
+        if let Some(&cluster_ip) = self.reverse.get(&key) {
+            return netsim::node::ForwardAction::Forward(Datagram {
+                src: cluster_ip,
+                ..dgram
+            });
+        }
+        netsim::node::ForwardAction::Forward(dgram)
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the orchestrator: registry semantics and
+//! the ClusterIP data path under arbitrary scaling histories.
+
+use mec_orch::{Cluster, ClusterConfig, ServiceRegistry, Visibility};
+use netsim::{Datagram, LinkProfile, Network, NodeBehavior, NodeContext, SimDuration, TimerToken};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn registry_upsert_remove_sequences_behave_like_a_map(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u8..8, any::<u32>()),
+            1..60,
+        ),
+    ) {
+        let reg = ServiceRegistry::new();
+        let mut model: std::collections::HashMap<String, IpAddr> =
+            std::collections::HashMap::new();
+        for (op, name_idx, addr) in ops {
+            let name = format!("svc{name_idx}.ns.svc.cluster.local");
+            let ip = IpAddr::V4(addr.into());
+            match op {
+                0 => {
+                    reg.upsert(&name, ip, Visibility::Public);
+                    model.insert(format!("{name}."), ip);
+                }
+                1 => {
+                    let removed = reg.remove(&name);
+                    let model_removed = model.remove(&format!("{name}.")).is_some();
+                    prop_assert_eq!(removed, model_removed);
+                }
+                _ => {
+                    let got = reg.lookup(&name, Visibility::Public);
+                    let want = model.get(&format!("{name}.")).copied();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(reg.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn cluster_allocates_unique_addresses(pods in 1usize..30, services in 1usize..30) {
+        struct Nop;
+        impl NodeBehavior for Nop {}
+        let mut net = Network::new(1);
+        let mut cluster = Cluster::new(&mut net, "mec", ClusterConfig::default());
+        cluster.add_namespace("cdn", Visibility::Public);
+        let mut seen: HashSet<IpAddr> = HashSet::new();
+        for i in 0..pods {
+            let p = cluster.launch_pod(&mut net, "cdn", &format!("p{i}"), Nop);
+            prop_assert!(seen.insert(p.ip), "duplicate pod ip {}", p.ip);
+        }
+        for i in 0..services {
+            let s = cluster.create_service(&mut net, "cdn", &format!("s{i}"), &[]);
+            prop_assert!(seen.insert(s.cluster_ip), "duplicate service ip {}", s.cluster_ip);
+        }
+    }
+}
+
+/// Echoes with a per-pod tag byte so clients can see which endpoint
+/// served them.
+struct EchoTag(u8);
+impl NodeBehavior for EchoTag {
+    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dgram: Datagram) {
+        ctx.send_datagram(dgram.reply_with(vec![self.0]));
+    }
+}
+
+struct Client {
+    target: IpAddr,
+    shots: usize,
+    replies: Vec<(IpAddr, u8)>,
+}
+impl NodeBehavior for Client {
+    fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+        for i in 0..self.shots {
+            ctx.set_timer(SimDuration::from_millis(10 * i as u64), i as u64);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_>, _t: TimerToken, _d: u64) {
+        ctx.send(self.target, 53, vec![0xAA, 0xBB]);
+    }
+    fn on_datagram(&mut self, _ctx: &mut NodeContext<'_>, dgram: Datagram) {
+        self.replies.push((dgram.src, dgram.payload[0]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dnat_balances_and_never_leaks_pod_ips(replicas in 1usize..6, shots in 1usize..30) {
+        let mut net = Network::new(9);
+        let mut cluster = Cluster::new(&mut net, "mec", ClusterConfig::default());
+        cluster.add_namespace("cdn", Visibility::Public);
+        let pods: Vec<_> = (0..replicas)
+            .map(|i| cluster.launch_pod(&mut net, "cdn", &format!("e{i}"), EchoTag(i as u8)))
+            .collect();
+        let svc = cluster.create_service(&mut net, "cdn", "echo", &pods);
+        let client = net.add_node(
+            "client",
+            ["192.168.0.10".parse::<IpAddr>().unwrap()],
+            Client {
+                target: svc.cluster_ip,
+                shots,
+                replies: vec![],
+            },
+        );
+        cluster.attach_external(&mut net, client, LinkProfile::lan());
+        net.run();
+        let replies = &net.behavior::<Client>(client).replies;
+        prop_assert_eq!(replies.len(), shots, "every flow must be answered");
+        // Source is always the ClusterIP.
+        prop_assert!(replies.iter().all(|(src, _)| *src == svc.cluster_ip));
+        // Round robin: each endpoint's share differs by at most one.
+        let mut counts = vec![0usize; replicas];
+        for (_, tag) in replies {
+            counts[*tag as usize] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        let min = counts.iter().copied().min().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced: {counts:?}");
+    }
+}

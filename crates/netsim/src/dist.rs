@@ -1,0 +1,190 @@
+//! Latency distributions for link models.
+//!
+//! Implemented here rather than via `rand_distr` to keep the dependency
+//! set to the approved list (see DESIGN.md). The paper's measurements
+//! show strongly right-skewed cellular latency (Figure 2's tall whiskers
+//! on the `cellular-mobile` bars), which [`Latency::LogNormalMs`] models;
+//! campus wired links are nearly deterministic, which
+//! [`Latency::UniformMs`] with a narrow band models.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// A distribution over one-way link delays.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Latency {
+    /// Always exactly this many milliseconds.
+    ConstantMs(f64),
+    /// Uniform between the two bounds (inclusive of low, exclusive high).
+    UniformMs(f64, f64),
+    /// Normal with mean and standard deviation, truncated at `min`.
+    NormalMs {
+        /// Mean in milliseconds.
+        mean: f64,
+        /// Standard deviation in milliseconds.
+        std_dev: f64,
+        /// Values below this are clamped up (a link cannot be faster than
+        /// its propagation floor).
+        min: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma))` plus a constant `shift`.
+    /// Right-skewed — occasional large delays, like a loaded RAN
+    /// scheduler or a distant anycast hop.
+    LogNormalMs {
+        /// Mean of the underlying normal (of ln-milliseconds).
+        mu: f64,
+        /// Std dev of the underlying normal.
+        sigma: f64,
+        /// Constant floor added to every sample, in milliseconds.
+        shift: f64,
+    },
+}
+
+impl Latency {
+    /// Draws one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        let ms = match *self {
+            Latency::ConstantMs(ms) => ms,
+            Latency::UniformMs(lo, hi) => {
+                if hi > lo {
+                    rng.gen_range(lo..hi)
+                } else {
+                    lo
+                }
+            }
+            Latency::NormalMs { mean, std_dev, min } => {
+                (mean + std_dev * standard_normal(rng)).max(min)
+            }
+            Latency::LogNormalMs { mu, sigma, shift } => {
+                shift + (mu + sigma * standard_normal(rng)).exp()
+            }
+        };
+        SimDuration::from_millis_f64(ms)
+    }
+
+    /// The distribution mean in milliseconds (exact, not sampled) — used
+    /// by tests that check calibration.
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            Latency::ConstantMs(ms) => ms,
+            Latency::UniformMs(lo, hi) => (lo + hi) / 2.0,
+            // Truncation bias is negligible for the parameters used here.
+            Latency::NormalMs { mean, .. } => mean,
+            Latency::LogNormalMs { mu, sigma, shift } => shift + (mu + sigma * sigma / 2.0).exp(),
+        }
+    }
+
+    /// Builds a log-normal whose *sampled* mean and standard deviation are
+    /// approximately the given values (moment matching), on top of a
+    /// constant floor. This is how link profiles express "average X ms
+    /// with heavy tail" directly in the paper's units.
+    pub fn skewed(shift_ms: f64, mean_ms: f64, std_dev_ms: f64) -> Latency {
+        let m = (mean_ms - shift_ms).max(1e-3);
+        let v = (std_dev_ms * std_dev_ms).max(1e-9);
+        let sigma2 = (1.0 + v / (m * m)).ln();
+        Latency::LogNormalMs {
+            mu: m.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+            shift: shift_ms,
+        }
+    }
+}
+
+/// A standard-normal draw via Box–Muller. One value per call; the second
+/// of the pair is discarded for simplicity (profiling shows the trig is
+/// nowhere near the simulator's critical path).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(dist: &Latency, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n)
+            .map(|_| dist.sample(&mut rng).as_millis_f64())
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Latency::ConstantMs(10.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), SimDuration::from_millis(10));
+        }
+        assert_eq!(d.mean_ms(), 10.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Latency::UniformMs(5.0, 8.0);
+        for _ in 0..1000 {
+            let ms = d.sample(&mut rng).as_millis_f64();
+            assert!((5.0..8.01).contains(&ms));
+        }
+        assert!((sample_mean(&d, 20_000) - 6.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_low() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Latency::UniformMs(4.0, 4.0);
+        assert_eq!(d.sample(&mut rng), SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn normal_respects_floor_and_mean() {
+        let d = Latency::NormalMs {
+            mean: 20.0,
+            std_dev: 5.0,
+            min: 10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng).as_millis_f64() >= 10.0);
+        }
+        assert!((sample_mean(&d, 20_000) - 20.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn lognormal_is_right_skewed() {
+        let d = Latency::skewed(5.0, 30.0, 20.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| d.sample(&mut rng).as_millis_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "log-normal mean must exceed median");
+        assert!(samples.iter().all(|&s| s >= 5.0), "floor respected");
+    }
+
+    #[test]
+    fn skewed_moment_matching_hits_requested_mean() {
+        let d = Latency::skewed(10.0, 60.0, 25.0);
+        assert!((d.mean_ms() - 60.0).abs() < 1e-6);
+        assert!((sample_mean(&d, 50_000) - 60.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Latency::skewed(2.0, 9.0, 4.0);
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

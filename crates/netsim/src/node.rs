@@ -1,0 +1,180 @@
+//! Node behaviors and the context handed to their event handlers.
+
+use crate::network::{Network, NodeId};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use std::any::Any;
+use std::net::IpAddr;
+
+/// A UDP-like datagram. All DNS traffic in this workspace is UDP, as in
+/// the paper's testbed (no TCP fallback is modelled; responses stay
+/// under the EDNS payload limit by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Source address.
+    pub src: IpAddr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Datagram {
+    /// Wire size used for serialization delay: payload plus a nominal
+    /// 28-byte IP+UDP header, rounded to a minimum 64-byte frame.
+    pub fn wire_len(&self) -> usize {
+        (self.payload.len() + 28).max(64)
+    }
+
+    /// A reply template: src/dst (and ports) swapped, new payload.
+    pub fn reply_with(&self, payload: Vec<u8>) -> Datagram {
+        Datagram {
+            src: self.dst,
+            src_port: self.dst_port,
+            dst: self.src,
+            dst_port: self.src_port,
+            payload,
+        }
+    }
+}
+
+/// Identifies a pending timer so it can be recognised (or ignored) when
+/// it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerToken(pub u64);
+
+/// What a forwarding hook tells the network to do with a transit packet.
+#[derive(Debug)]
+pub enum ForwardAction {
+    /// Forward this (possibly rewritten) datagram — how the P-GW NAT
+    /// rewrites the UE source address to the public gateway address.
+    Forward(Datagram),
+    /// Swallow the packet (policy drop / local consumption).
+    Consume,
+}
+
+/// Event handlers for a node. All methods have defaults so simple nodes
+/// implement only what they need. Handlers must not block; anything that
+/// waits is expressed as a timer.
+pub trait NodeBehavior: Any {
+    /// Called once when the simulation starts (or when the node is added
+    /// to an already-running simulation).
+    fn on_start(&mut self, _ctx: &mut NodeContext<'_>) {}
+
+    /// Called for each datagram addressed to one of this node's
+    /// addresses.
+    fn on_datagram(&mut self, _ctx: &mut NodeContext<'_>, _dgram: Datagram) {}
+
+    /// Called when a timer set through [`NodeContext::set_timer`] fires.
+    /// `data` is the caller-supplied correlation value.
+    fn on_timer(&mut self, _ctx: &mut NodeContext<'_>, _token: TimerToken, _data: u64) {}
+
+    /// Called for packets this node *forwards* (destination not local).
+    /// The default transparently forwards. Override to implement NAT,
+    /// firewalls or transparent redirection.
+    fn on_forward(&mut self, _ctx: &mut NodeContext<'_>, dgram: Datagram) -> ForwardAction {
+        ForwardAction::Forward(dgram)
+    }
+}
+
+/// The capabilities a behavior has while handling an event: inspect the
+/// clock, draw randomness, send datagrams and set timers.
+pub struct NodeContext<'a> {
+    pub(crate) net: &'a mut Network,
+    pub(crate) node: NodeId,
+}
+
+impl NodeContext<'_> {
+    /// The node this context belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// The node's primary (first) address.
+    pub fn primary_addr(&self) -> IpAddr {
+        self.net.primary_addr(self.node)
+    }
+
+    /// The simulation RNG. Behaviors share the network's seeded stream,
+    /// keeping whole-run determinism.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.net.rng()
+    }
+
+    /// Sends a datagram from this node's primary address with a fresh
+    /// ephemeral source port. Returns the chosen port so the caller can
+    /// match the reply.
+    pub fn send(&mut self, dst: IpAddr, dst_port: u16, payload: Vec<u8>) -> u16 {
+        let src = self.primary_addr();
+        let src_port = self.net.ephemeral_port();
+        self.send_datagram(Datagram {
+            src,
+            src_port,
+            dst,
+            dst_port,
+            payload,
+        });
+        src_port
+    }
+
+    /// Sends a fully-specified datagram (callers that need a fixed source
+    /// port, e.g. a server replying from port 53, build it themselves or
+    /// via [`Datagram::reply_with`]).
+    pub fn send_datagram(&mut self, dgram: Datagram) {
+        self.net.inject(self.node, dgram);
+    }
+
+    /// Schedules [`NodeBehavior::on_timer`] after `delay`, tagging it with
+    /// `data`.
+    pub fn set_timer(&mut self, delay: SimDuration, data: u64) -> TimerToken {
+        self.net.set_timer(self.node, delay, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_has_frame_floor_and_header() {
+        let d = Datagram {
+            src: "10.0.0.1".parse().unwrap(),
+            src_port: 1000,
+            dst: "10.0.0.2".parse().unwrap(),
+            dst_port: 53,
+            payload: vec![0; 10],
+        };
+        assert_eq!(d.wire_len(), 64);
+        let big = Datagram {
+            payload: vec![0; 200],
+            ..d
+        };
+        assert_eq!(big.wire_len(), 228);
+    }
+
+    #[test]
+    fn reply_swaps_endpoints() {
+        let d = Datagram {
+            src: "10.0.0.1".parse().unwrap(),
+            src_port: 40000,
+            dst: "10.0.0.2".parse().unwrap(),
+            dst_port: 53,
+            payload: vec![1],
+        };
+        let r = d.reply_with(vec![2]);
+        assert_eq!(r.src, d.dst);
+        assert_eq!(r.src_port, 53);
+        assert_eq!(r.dst, d.src);
+        assert_eq!(r.dst_port, 40000);
+        assert_eq!(r.payload, vec![2]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the simulator's core invariants:
+//! determinism, monotone virtual time, statistics correctness and
+//! prefix-routing behaviour.
+
+use netsim::{
+    Cidr, Datagram, Latency, LinkProfile, Network, NodeBehavior, NodeContext, Samples,
+    SimDuration, SimTime,
+};
+use proptest::prelude::*;
+use std::net::IpAddr;
+
+struct Echo;
+impl NodeBehavior for Echo {
+    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dgram: Datagram) {
+        let reply = dgram.reply_with(dgram.payload.clone());
+        ctx.send_datagram(reply);
+    }
+}
+
+struct Prober {
+    target: IpAddr,
+    count: usize,
+    interval: SimDuration,
+    sent_at: Vec<SimTime>,
+    rtts: Vec<SimDuration>,
+}
+
+impl Prober {
+    fn new(target: IpAddr, count: usize, interval: SimDuration) -> Self {
+        Prober {
+            target,
+            count,
+            interval,
+            sent_at: Vec::new(),
+            rtts: Vec::new(),
+        }
+    }
+}
+
+impl NodeBehavior for Prober {
+    fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+        for i in 0..self.count {
+            ctx.set_timer(self.interval.mul_f64(i as f64), i as u64);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut NodeContext<'_>, _t: netsim::TimerToken, _d: u64) {
+        self.sent_at.push(ctx.now());
+        ctx.send(self.target, 7, vec![0x55; 32]);
+    }
+    fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, _dgram: Datagram) {
+        // Replies arrive in order on a FIFO link.
+        let idx = self.rtts.len();
+        self.rtts.push(ctx.now() - self.sent_at[idx]);
+    }
+}
+
+fn ip(s: &str) -> IpAddr {
+    s.parse().unwrap()
+}
+
+fn run_probes(seed: u64, n: usize, latency: Latency, loss: f64) -> Vec<SimDuration> {
+    let mut net = Network::new(seed);
+    let a = net.add_node(
+        "probe",
+        [ip("10.0.0.1")],
+        Prober::new(ip("10.0.0.2"), n, SimDuration::from_millis(200)),
+    );
+    let b = net.add_node("echo", [ip("10.0.0.2")], Echo);
+    net.connect(a, b, LinkProfile::with_latency(latency).with_loss(loss));
+    net.run();
+    net.behavior::<Prober>(a).rtts.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn same_seed_identical_run(seed in any::<u64>(), n in 1usize..20) {
+        let lat = Latency::skewed(1.0, 8.0, 5.0);
+        prop_assert_eq!(
+            run_probes(seed, n, lat.clone(), 0.1),
+            run_probes(seed, n, lat, 0.1)
+        );
+    }
+
+    #[test]
+    fn rtt_is_at_least_twice_the_floor(
+        seed in any::<u64>(),
+        floor_ms in 1.0f64..20.0,
+        n in 1usize..12,
+    ) {
+        let lat = Latency::skewed(floor_ms, floor_ms + 5.0, 3.0);
+        for rtt in run_probes(seed, n, lat, 0.0) {
+            prop_assert!(rtt.as_millis_f64() >= 2.0 * floor_ms - 1e-6);
+        }
+    }
+
+    #[test]
+    fn lossless_link_answers_every_probe(seed in any::<u64>(), n in 1usize..25) {
+        let got = run_probes(seed, n, Latency::ConstantMs(2.0), 0.0);
+        prop_assert_eq!(got.len(), n);
+    }
+
+    #[test]
+    fn constant_latency_means_constant_rtt(seed in any::<u64>(), ms in 1u64..50) {
+        let rtts = run_probes(seed, 5, Latency::ConstantMs(ms as f64), 0.0);
+        for rtt in rtts {
+            prop_assert_eq!(rtt, SimDuration::from_millis(2 * ms));
+        }
+    }
+
+    #[test]
+    fn summary_bounds_hold(values in proptest::collection::vec(0.0f64..10_000.0, 1..200)) {
+        let mut s = Samples::new();
+        for &v in &values {
+            s.record_ms(v);
+        }
+        let sum = s.summarize().unwrap();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(sum.min_ms, lo);
+        prop_assert_eq!(sum.max_ms, hi);
+        prop_assert!(sum.trimmed_mean_ms >= lo - 1e-9);
+        prop_assert!(sum.trimmed_mean_ms <= hi + 1e-9);
+        prop_assert!(sum.p50_ms >= lo && sum.p50_ms <= hi);
+        prop_assert_eq!(sum.samples, values.len());
+    }
+
+    #[test]
+    fn percentiles_are_monotone(values in proptest::collection::vec(0.0f64..1000.0, 1..100)) {
+        let mut s = Samples::new();
+        for &v in &values {
+            s.record_ms(v);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 8.0, 25.0, 50.0, 75.0, 92.0, 100.0] {
+            let v = s.percentile(p).unwrap();
+            prop_assert!(v >= last, "percentile({p}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn cidr_contains_its_own_hosts(a in any::<u32>(), prefix in 0u8..=32, i in any::<u16>()) {
+        let c = Cidr::new(IpAddr::V4(a.into()), prefix);
+        prop_assert!(c.contains(c.nth_host(u64::from(i))));
+        prop_assert!(c.contains(c.network()));
+    }
+
+    #[test]
+    fn cidr_parse_display_roundtrip(a in any::<u32>(), prefix in 0u8..=32) {
+        let c = Cidr::new(IpAddr::V4(a.into()), prefix);
+        let back: Cidr = c.to_string().parse().unwrap();
+        prop_assert_eq!(back, c);
+    }
+}
+
+#[test]
+fn probes_through_queueing_link_preserve_fifo() {
+    // With bandwidth queueing and constant latency, replies must come
+    // back in the order the probes were sent.
+    let mut net = Network::new(99);
+    let a = net.add_node(
+        "probe",
+        [ip("10.0.0.1")],
+        Prober::new(ip("10.0.0.2"), 10, SimDuration::from_micros(50)),
+    );
+    let b = net.add_node("echo", [ip("10.0.0.2")], Echo);
+    net.connect(
+        a,
+        b,
+        LinkProfile::with_latency(Latency::ConstantMs(1.0)).with_bandwidth_bps(1_000_000),
+    );
+    net.run();
+    let prober = net.behavior::<Prober>(a);
+    assert_eq!(prober.rtts.len(), 10);
+    // Later probes queue behind earlier ones, so RTT is non-decreasing.
+    for w in prober.rtts.windows(2) {
+        assert!(w[1] >= w[0], "FIFO violated: {:?}", prober.rtts);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! `ran-sim` — the LTE/5G radio access network and EPC core model.
+//!
+//! The paper's testbed is two USRP B200mini radios running srsLTE (one
+//! UE, one eNB) in front of a containerized NextEPC core, with ~10 ms of
+//! one-way LTE air latency dominating the MEC bars of Figure 5. This
+//! crate reproduces that substrate:
+//!
+//! * [`profiles::RadioProfile`] — calibrated air-interface latency models
+//!   for LTE (the testbed) and 5G NR (the paper's "future 5G deployments
+//!   will drastically reduce this time" projection), plus the
+//!   non-cellular access networks Figure 2 compares against
+//!   ([`profiles::AccessKind`]).
+//! * [`epc::Epc`] — MME / S-GW / P-GW nodes with backhaul links; the
+//!   P-GW performs NAT so that every server behind it sees the gateway's
+//!   public address instead of the UE's — the client-IP obfuscation §1
+//!   identifies as one reason CDN geo-localization fails in mobile
+//!   networks.
+//! * [`ran::Ran`] — eNB management, UE attach (with a modelled
+//!   control-plane setup delay) and X2-style handoff between eNBs with a
+//!   configurable interruption gap, after which the serving route is
+//!   switched — the mobility event that motivates DNS re-targeting in
+//!   §3.
+//!
+//! # Omitted (deliberately)
+//!
+//! * PHY-layer detail (HARQ, scheduling grants): folded into the air
+//!   latency distribution, which is what the paper measures through.
+//! * S1/X2 signalling wire formats: the *timing* of attach and handoff
+//!   is modelled; the ASN.1 is not.
+
+pub mod epc;
+pub mod profiles;
+pub mod ran;
+
+pub use epc::{Epc, EpcConfig, PgwNat};
+pub use profiles::{AccessKind, RadioProfile};
+pub use ran::{Ran, UeAttachment};

@@ -1,0 +1,114 @@
+//! Deterministic request schedules.
+
+use crate::zipf::Zipf;
+use netsim::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledRequest {
+    /// Offset from schedule start.
+    pub at: SimDuration,
+    /// Object key (or domain) to request.
+    pub key: String,
+}
+
+/// Builds request schedules with Poisson-ish arrivals and Zipf object
+/// choice — the standard open-loop CDN workload.
+#[derive(Debug)]
+pub struct RequestSchedule {
+    rng: StdRng,
+}
+
+impl RequestSchedule {
+    /// A generator with its own seed (independent of the network's RNG
+    /// so workloads can be reused across topologies).
+    pub fn new(seed: u64) -> Self {
+        RequestSchedule {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `count` requests with exponential inter-arrivals at `rate_per_sec`
+    /// over `keys` with Zipf(α) popularity.
+    pub fn poisson_zipf(
+        &mut self,
+        count: usize,
+        rate_per_sec: f64,
+        keys: &[String],
+        alpha: f64,
+    ) -> Vec<ScheduledRequest> {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        assert!(!keys.is_empty(), "need at least one key");
+        let zipf = Zipf::new(keys.len(), alpha);
+        let mut t = 0.0f64; // seconds
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / rate_per_sec;
+            let key = keys[zipf.sample(&mut self.rng)].clone();
+            out.push(ScheduledRequest {
+                at: SimDuration::from_millis_f64(t * 1000.0),
+                key,
+            });
+        }
+        out
+    }
+
+    /// `count` requests at a fixed interval, cycling through `keys` in
+    /// order — the paper's methodical "dig five domains, ≥12 times each"
+    /// measurement style.
+    pub fn fixed_interval(
+        count: usize,
+        interval: SimDuration,
+        keys: &[String],
+    ) -> Vec<ScheduledRequest> {
+        assert!(!keys.is_empty(), "need at least one key");
+        (0..count)
+            .map(|i| ScheduledRequest {
+                at: SimDuration::from_nanos(interval.as_nanos() * i as u64),
+                key: keys[i % keys.len()].clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_sorted_and_deterministic() {
+        let keys: Vec<String> = (0..10).map(|i| format!("k{i}")).collect();
+        let a = RequestSchedule::new(5).poisson_zipf(100, 50.0, &keys, 1.0);
+        let b = RequestSchedule::new(5).poisson_zipf(100, 50.0, &keys, 1.0);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        // Mean inter-arrival ≈ 20 ms at 50/s.
+        let total = a.last().unwrap().at.as_millis_f64();
+        assert!((1000.0..4000.0).contains(&total), "total span {total} ms");
+    }
+
+    #[test]
+    fn fixed_interval_cycles_keys() {
+        let keys = vec!["a".to_string(), "b".to_string()];
+        let s = RequestSchedule::fixed_interval(5, SimDuration::from_millis(10), &keys);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0].key, "a");
+        assert_eq!(s[1].key, "b");
+        assert_eq!(s[2].key, "a");
+        assert_eq!(s[4].at, SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn zipf_head_dominates_poisson_schedule() {
+        let keys: Vec<String> = (0..100).map(|i| format!("k{i}")).collect();
+        let s = RequestSchedule::new(7).poisson_zipf(5000, 100.0, &keys, 1.1);
+        let head = s.iter().filter(|r| r.key == "k0").count();
+        let tail = s.iter().filter(|r| r.key == "k99").count();
+        assert!(head > tail * 5, "head {head}, tail {tail}");
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! `workload` — the paper's workloads and measurement bookkeeping.
+//!
+//! * [`sites`] — Table 1: the five online travel agencies and the CDN
+//!   domains the paper tests, plus the Figure 3 provider CIDR pools and
+//!   the per-access-network answer distributions used to calibrate the
+//!   commercial model.
+//! * [`zipf`] — Zipf-distributed content popularity for cache workloads.
+//! * [`gen`] — deterministic query/request schedules.
+//! * [`figures`] — serializable figure/table data (bars with trimmed
+//!   means and whiskers) the `repro` harness prints and EXPERIMENTS.md
+//!   quotes.
+
+pub mod figures;
+pub mod gen;
+pub mod sites;
+pub mod zipf;
+
+pub use figures::{Bar, Figure, StackedBar};
+pub use sites::{PoolWeight, Site, SITES};
+pub use zipf::Zipf;

@@ -1,0 +1,241 @@
+//! Table 1 and the Figure 3 provider pools.
+//!
+//! Table 1 of the paper:
+//!
+//! | Online travel agency | Tested CDN domain name   |
+//! |----------------------|--------------------------|
+//! | Airbnb               | a0.muscache.com          |
+//! | Booking.com          | q-cf.bstatic.com         |
+//! | TripAdvisor          | static.tacdn.com         |
+//! | Agoda                | cdn0.agoda.net           |
+//! | Expedia              | a.cdn.intentmedia.net    |
+//!
+//! Figure 3 classifies DNS answers for these domains into provider CIDR
+//! ranges: Akamai `23.55.124.0/24`, `23.0.0.0/8`, `104.127.91.0/24`;
+//! Fastly `151.101.0.0/16`, `199.232.0.0/16`; Amazon CloudFront
+//! `13.249.0.0/16`, `54.230.0.0/16`; and Edgecast-Verizon. The exact
+//! per-bar percentages are not tabulated in the paper, so the weights
+//! below are calibrated to reproduce the *qualitative* result: for the
+//! same domain queried from the same location, the answering pool mix
+//! shifts with the access network (and for Agoda/Booking the mix moves
+//! across pools of a single provider).
+
+use std::fmt;
+
+/// A provider pool with per-access-network selection weights
+/// (wired-campus, wifi-home, cellular-mobile — Figure 2/3 order).
+#[derive(Debug, Clone, Copy)]
+pub struct PoolWeight {
+    /// Provider label as Figure 3's legend shows it.
+    pub provider: &'static str,
+    /// Pool CIDR in presentation form.
+    pub pool: &'static str,
+    /// Weights for [wired-campus, wifi-home, cellular-mobile].
+    pub weights: [f64; 3],
+}
+
+/// One of the paper's five test sites.
+#[derive(Debug, Clone, Copy)]
+pub struct Site {
+    /// Site name as the paper lists it.
+    pub name: &'static str,
+    /// The tested CDN domain (Table 1).
+    pub domain: &'static str,
+    /// Figure 3 pools and their per-network weights.
+    pub pools: &'static [PoolWeight],
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.domain)
+    }
+}
+
+/// The five sites of Table 1 with Figure 3 pool assignments.
+pub const SITES: &[Site] = &[
+    Site {
+        name: "Airbnb",
+        domain: "a0.muscache.com",
+        pools: &[
+            PoolWeight {
+                provider: "Akamai",
+                pool: "23.55.124.0/24",
+                weights: [0.30, 0.15, 0.05],
+            },
+            PoolWeight {
+                provider: "Fastly",
+                pool: "151.101.0.0/16",
+                weights: [0.55, 0.45, 0.30],
+            },
+            PoolWeight {
+                provider: "Fastly",
+                pool: "199.232.0.0/16",
+                weights: [0.15, 0.40, 0.65],
+            },
+        ],
+    },
+    Site {
+        name: "Booking.com",
+        domain: "q-cf.bstatic.com",
+        pools: &[
+            PoolWeight {
+                provider: "Amazon CloudFront",
+                pool: "13.249.0.0/16",
+                weights: [0.85, 0.55, 0.30],
+            },
+            PoolWeight {
+                provider: "Amazon CloudFront",
+                pool: "54.230.0.0/16",
+                weights: [0.15, 0.45, 0.70],
+            },
+        ],
+    },
+    Site {
+        name: "TripAdvisor",
+        domain: "static.tacdn.com",
+        pools: &[
+            PoolWeight {
+                provider: "Akamai",
+                pool: "23.0.0.0/8",
+                weights: [0.35, 0.20, 0.10],
+            },
+            PoolWeight {
+                provider: "Akamai",
+                pool: "104.127.91.0/24",
+                weights: [0.20, 0.15, 0.05],
+            },
+            PoolWeight {
+                provider: "Fastly",
+                pool: "151.101.0.0/16",
+                weights: [0.30, 0.30, 0.25],
+            },
+            PoolWeight {
+                provider: "Fastly",
+                pool: "199.232.0.0/16",
+                weights: [0.10, 0.25, 0.30],
+            },
+            PoolWeight {
+                provider: "Edgecast-Verizon",
+                pool: "152.195.0.0/16",
+                weights: [0.05, 0.10, 0.30],
+            },
+        ],
+    },
+    Site {
+        name: "Agoda",
+        domain: "cdn0.agoda.net",
+        pools: &[
+            PoolWeight {
+                provider: "Akamai",
+                pool: "23.55.124.0/24",
+                weights: [0.80, 0.55, 0.25],
+            },
+            PoolWeight {
+                provider: "Akamai",
+                pool: "23.0.0.0/8",
+                weights: [0.20, 0.45, 0.75],
+            },
+        ],
+    },
+    Site {
+        name: "Expedia",
+        domain: "a.cdn.intentmedia.net",
+        pools: &[
+            PoolWeight {
+                provider: "Amazon CloudFront",
+                pool: "13.249.0.0/16",
+                weights: [0.45, 0.30, 0.15],
+            },
+            PoolWeight {
+                provider: "Amazon CloudFront",
+                pool: "54.230.0.0/16",
+                weights: [0.25, 0.25, 0.20],
+            },
+            PoolWeight {
+                provider: "Fastly",
+                pool: "151.101.0.0/16",
+                weights: [0.20, 0.25, 0.25],
+            },
+            PoolWeight {
+                provider: "Fastly",
+                pool: "199.232.0.0/16",
+                weights: [0.10, 0.20, 0.40],
+            },
+        ],
+    },
+];
+
+/// The CDN-in-a-box domain the paper's prototype serves.
+pub const MEC_CDN_DOMAIN: &str = "video.demo1.mycdn.ciab.test";
+/// The CDN zone apex of the prototype.
+pub const MEC_CDN_ZONE: &str = "mycdn.ciab.test";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Cidr;
+
+    #[test]
+    fn table1_has_exactly_the_papers_five_sites() {
+        assert_eq!(SITES.len(), 5);
+        let domains: Vec<&str> = SITES.iter().map(|s| s.domain).collect();
+        assert!(domains.contains(&"a0.muscache.com"));
+        assert!(domains.contains(&"q-cf.bstatic.com"));
+        assert!(domains.contains(&"static.tacdn.com"));
+        assert!(domains.contains(&"cdn0.agoda.net"));
+        assert!(domains.contains(&"a.cdn.intentmedia.net"));
+    }
+
+    #[test]
+    fn all_pools_parse_as_cidrs() {
+        for site in SITES {
+            for p in site.pools {
+                let c: Result<Cidr, _> = p.pool.parse();
+                assert!(c.is_ok(), "{} pool {} invalid", site.name, p.pool);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_per_network() {
+        for site in SITES {
+            for net in 0..3 {
+                let sum: f64 = site.pools.iter().map(|p| p.weights[net]).sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "{} network {net} weights sum to {sum}",
+                    site.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_shifts_with_access_network() {
+        // The qualitative Figure 3 claim: for every site, at least one
+        // pool's weight changes materially between wired and cellular.
+        for site in SITES {
+            let max_shift = site
+                .pools
+                .iter()
+                .map(|p| (p.weights[0] - p.weights[2]).abs())
+                .fold(0.0, f64::max);
+            assert!(
+                max_shift >= 0.2,
+                "{} answer mix barely shifts across networks",
+                site.name
+            );
+        }
+    }
+
+    #[test]
+    fn figure3_providers_present() {
+        let providers: std::collections::HashSet<&str> = SITES
+            .iter()
+            .flat_map(|s| s.pools.iter().map(|p| p.provider))
+            .collect();
+        for expected in ["Akamai", "Fastly", "Amazon CloudFront", "Edgecast-Verizon"] {
+            assert!(providers.contains(expected), "missing {expected}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The latency-budget argument of the introduction: AR/VR needs sub-20ms
+//! end-to-end responses, CDN response times today run 20–300 ms, and
+//! DNS alone can blow the entire budget. This example prices each
+//! deployment's DNS resolution against the 20 ms envelope, on LTE and
+//! on the 5G (NR) projection.
+//!
+//! ```text
+//! cargo run --example arvr_budget
+//! ```
+
+use mec_cdn::TestbedConfig;
+use ran_sim::RadioProfile;
+
+const BUDGET_MS: f64 = 20.0;
+
+fn main() {
+    for (radio, label) in [(RadioProfile::Lte, "4G LTE"), (RadioProfile::Nr, "5G NR")] {
+        println!("=== {label} air interface ===");
+        println!(
+            "{:<26} {:>10} {:>14} {:>22}",
+            "deployment", "DNS (ms)", "of 20ms budget", "verdict"
+        );
+        let cfg = TestbedConfig {
+            radio,
+            queries: 15,
+            ..TestbedConfig::default()
+        };
+        let fig = mec_cdn::experiments::fig5(&cfg);
+        for bar in &fig.stacked {
+            let pct = 100.0 * bar.total_ms / BUDGET_MS;
+            let verdict = if bar.total_ms < BUDGET_MS {
+                "fits (content time left)"
+            } else {
+                "DNS alone blows the budget"
+            };
+            println!(
+                "{:<26} {:>10.1} {:>13.0}% {:>22}",
+                bar.label, bar.total_ms, pct, verdict
+            );
+        }
+        println!();
+    }
+    println!(
+        "reading: on LTE no deployment fits — the air interface eats the budget, \
+         as §4 notes. On NR only the MEC-resolved deployments leave usable headroom; \
+         hierarchical and cloud resolvers still spend several budgets on DNS alone."
+    );
+}

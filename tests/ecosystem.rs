@@ -1,0 +1,66 @@
+//! Table rendering and ecosystem-model integration checks.
+
+use mec_cdn::ecosystem::{Ecosystem, Entity};
+use mec_cdn::experiments;
+use mec_cdn::Role;
+use workload::SITES;
+
+#[test]
+fn table1_renders_all_five_sites() {
+    let t = experiments::table1();
+    for site in SITES {
+        assert!(t.contains(site.name), "missing {}", site.name);
+        assert!(t.contains(site.domain), "missing {}", site.domain);
+    }
+}
+
+#[test]
+fn table2_renders_all_roles_and_the_proposal() {
+    let t = experiments::table2();
+    for role in Role::all() {
+        assert!(t.contains(&role.to_string()), "missing {role}");
+    }
+    assert!(t.contains("proposal:"));
+    assert!(t.contains("MEC Provider"));
+}
+
+#[test]
+fn role_responsibilities_match_table2_wording() {
+    assert!(Role::CellularProvider
+        .responsibility()
+        .contains("RAN and cellular core"));
+    assert!(Role::CdnBroker.responsibility().contains("consolidated"));
+    assert!(Role::MecProvider.responsibility().contains("MEC servers"));
+}
+
+#[test]
+fn the_status_quo_has_invisible_performance_owners() {
+    // Q3's point: nobody in today's ecosystem owns end-to-end CDN
+    // performance at the edge — the MEC role is simply unfilled, and
+    // DNS authority is scattered across four entities.
+    let eco = Ecosystem::status_quo();
+    assert!(eco.unfilled_roles().contains(&Role::MecProvider));
+    assert!(eco.holders(Role::DnsProvider).len() >= 3);
+}
+
+#[test]
+fn the_proposal_fills_every_latency_critical_role() {
+    let eco = Ecosystem::mec_cdn_proposal();
+    for role in [
+        Role::CellularProvider,
+        Role::MecProvider,
+        Role::DnsProvider,
+        Role::CdnProvider,
+        Role::WebProvider,
+    ] {
+        assert!(
+            !eco.holders(role).is_empty(),
+            "{role} unfilled in the proposal"
+        );
+    }
+    // Single entity owns cellular + MEC + DNS: the consolidation that
+    // permits first-hop resolution.
+    assert!(eco.entities.iter().any(|e: &Entity| {
+        e.has(Role::CellularProvider) && e.has(Role::MecProvider) && e.has(Role::DnsProvider)
+    }));
+}
