@@ -1,9 +1,11 @@
 //! Regenerates Figure 5 — one full testbed run per deployment — and
 //! times individual deployments (the ablation of DESIGN.md decision 2:
-//! collocating C-DNS vs only L-DNS at MEC).
+//! collocating C-DNS vs only L-DNS at MEC), plus the serial-vs-parallel
+//! runner comparison for the full six-deployment sweep.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mec_cdn::{Deployment, DeploymentKind, TestbedConfig};
+use mec_cdn::experiments::fig5_with;
+use mec_cdn::{Deployment, DeploymentKind, Runner, TestbedConfig};
 
 fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
@@ -31,5 +33,31 @@ fn bench_fig5(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig5);
+/// The full Figure 5 sweep (all six deployments) at 1, 2 and 4 worker
+/// threads. Results are bit-identical across the three; only the
+/// wall-clock differs — this is the acceptance number for the parallel
+/// runner.
+fn bench_fig5_sweep_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let runner = Runner::new(threads);
+        group.bench_function(format!("fig5_full_sweep_{threads}_threads"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = TestbedConfig {
+                    seed,
+                    queries: 12,
+                    ..TestbedConfig::default()
+                };
+                let fig = fig5_with(black_box(&cfg), &runner);
+                black_box(fig.stacked.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5, bench_fig5_sweep_threads);
 criterion_main!(benches);

@@ -14,11 +14,13 @@
 //! ```
 //!
 //! Add `--json` to emit machine-readable output (what EXPERIMENTS.md
-//! quotes) alongside the tables, and `--seed <n>` to replay under a
-//! different deterministic seed (default 2020).
+//! quotes) alongside the tables, `--seed <n>` to replay under a
+//! different deterministic seed (default 2020), and `--threads <n>` to
+//! fan the figure campaigns over worker threads (`0` = all CPUs;
+//! output is byte-identical at any thread count).
 
 use mec_cdn::experiments;
-use mec_cdn::{DeploymentKind, TestbedConfig};
+use mec_cdn::{DeploymentKind, Runner, TestbedConfig};
 use ran_sim::RadioProfile;
 
 const DEFAULT_SEED: u64 = 2020;
@@ -27,15 +29,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let nr = args.iter().any(|a| a == "--nr");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse::<u64>().ok())
+    };
     #[allow(non_snake_case)]
-    let SEED: u64 = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED);
+    let SEED: u64 = flag_value("--seed").unwrap_or(DEFAULT_SEED);
+    let runner = Runner::new(flag_value("--threads").unwrap_or(1) as usize);
     let what = {
-        // First bare token that is not the value of a --seed flag.
+        // First bare token that is not the value of a value-taking flag.
         let mut skip_next = false;
         let mut found = None;
         for a in &args {
@@ -43,7 +47,7 @@ fn main() {
                 skip_next = false;
                 continue;
             }
-            if a == "--seed" {
+            if a == "--seed" || a == "--threads" {
                 skip_next = true;
                 continue;
             }
@@ -61,11 +65,11 @@ fn main() {
         println!();
     }
     if all || what == "table2" {
-        print!("{}", experiments::table2());
+        print!("{}", experiments::table2_with(&runner));
         println!();
     }
     if all || what == "fig2" || what == "fig3" {
-        let (fig2, fig3) = experiments::fig2_fig3(SEED);
+        let (fig2, fig3) = experiments::fig2_fig3_with(SEED, &runner);
         if all || what == "fig2" {
             print!("{}", fig2.render());
             if json {
@@ -89,7 +93,7 @@ fn main() {
             radio: if nr { RadioProfile::Nr } else { RadioProfile::Lte },
             ..TestbedConfig::default()
         };
-        let fig = experiments::fig5(&cfg);
+        let fig = experiments::fig5_with(&cfg, &runner);
         print!("{}", fig.render());
         println!(
             "paper's means (ms): {}",

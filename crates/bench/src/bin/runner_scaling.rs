@@ -1,0 +1,59 @@
+//! `runner_scaling` — times the full Figure 5 sweep (six deployment
+//! trials) at 1/2/4/8 worker threads and prints a wall-clock table.
+//!
+//! This is the timed note backing the parallel runner: on an N-core
+//! host the sweep is bounded by `ceil(6 / threads)` trial rounds, so 4
+//! threads give ~3× on four or more cores. On a single-core host (CI
+//! containers often are — the CPU count is printed first) no speedup
+//! is possible and the table instead shows the runner's scheduling
+//! overhead staying small.
+//!
+//! Results are byte-identical at every thread count (the checksum
+//! column must not vary; `tests/determinism.rs` asserts the same).
+
+use mec_cdn::experiments::fig5_with;
+use mec_cdn::{Runner, TestbedConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries: usize = args
+        .iter()
+        .position(|a| a == "--queries")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host CPUs: {cpus}   queries per deployment: {queries}");
+    println!("{:>8} {:>12} {:>10} {}", "threads", "wall/run", "vs 1thr", "checksum");
+
+    let mut serial_time = None;
+    for threads in [1usize, 2, 4, 8] {
+        let runner = Runner::new(threads);
+        let cfg = TestbedConfig {
+            seed: 2020,
+            queries,
+            ..TestbedConfig::default()
+        };
+        // Warm-up run, then the timed runs.
+        let mut fig = fig5_with(&cfg, &runner);
+        let runs = 5;
+        let t = Instant::now();
+        for _ in 0..runs {
+            fig = std::hint::black_box(fig5_with(&cfg, &runner));
+        }
+        let per_run = t.elapsed() / runs;
+        // A cheap content fingerprint: identical figures sum identically.
+        let checksum: f64 = fig.stacked.iter().map(|b| b.total_ms + b.wireless_ms).sum();
+        let speedup = match serial_time {
+            None => {
+                serial_time = Some(per_run);
+                1.0
+            }
+            Some(s) => s.as_secs_f64() / per_run.as_secs_f64(),
+        };
+        println!("{threads:>8} {per_run:>12.2?} {speedup:>9.2}x {checksum:.9}");
+    }
+}

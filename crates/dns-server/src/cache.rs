@@ -108,15 +108,19 @@ impl DnsCache {
 
     fn insert_entry(&mut self, k: (String, u16), e: Entry, now: SimTime) {
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&k) {
-            // Evict the least recently used entry, preferring ones that
-            // have already expired.
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| (e.expires > now, e.last_used))
-                .map(|(k, _)| k.clone());
-            if let Some(v) = victim {
-                self.entries.remove(&v);
+            // Expired entries are dead weight: drop them all first, and
+            // only fall back to evicting a live (least recently used)
+            // entry if the cache is still full.
+            self.entries.retain(|_, e| e.expires > now);
+            if self.entries.len() >= self.capacity {
+                let victim = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                if let Some(v) = victim {
+                    self.entries.remove(&v);
+                }
             }
         }
         self.entries.insert(k, e);
@@ -257,6 +261,42 @@ mod tests {
         assert!(c.get(&n("b.test"), RrType::A, at(4)).is_none());
         assert!(c.get(&n("a.test"), RrType::A, at(4)).is_some());
         assert!(c.get(&n("c.test"), RrType::A, at(4)).is_some());
+    }
+
+    #[test]
+    fn all_expired_entries_are_purged_before_any_live_eviction() {
+        let mut c = DnsCache::new(3);
+        // Two entries that expire at t=10, one long-lived entry that is
+        // the LRU by last_used.
+        c.insert(&n("dead1.test"), RrType::A, vec![a_record("dead1.test", 10)], at(0));
+        c.insert(&n("dead2.test"), RrType::A, vec![a_record("dead2.test", 10)], at(1));
+        c.insert(&n("live.test"), RrType::A, vec![a_record("live.test", 300)], at(2));
+        // At t=20 both dead entries have expired. Inserting at capacity
+        // must purge them *both* rather than evicting one dead entry now
+        // and the live LRU entry on the next insert.
+        c.insert(&n("new1.test"), RrType::A, vec![a_record("new1.test", 300)], at(20));
+        c.insert(&n("new2.test"), RrType::A, vec![a_record("new2.test", 300)], at(21));
+        assert_eq!(c.len(), 3);
+        assert!(
+            c.get(&n("live.test"), RrType::A, at(22)).is_some(),
+            "live entry was evicted while expired entries occupied the cache"
+        );
+        assert!(c.get(&n("new1.test"), RrType::A, at(22)).is_some());
+        assert!(c.get(&n("new2.test"), RrType::A, at(22)).is_some());
+    }
+
+    #[test]
+    fn live_lru_eviction_only_once_no_entry_is_expired() {
+        let mut c = DnsCache::new(2);
+        c.insert(&n("old.test"), RrType::A, vec![a_record("old.test", 5)], at(0));
+        c.insert(&n("fresh.test"), RrType::A, vec![a_record("fresh.test", 300)], at(1));
+        // `old` is expired at t=10: it must be the one to go even though
+        // a plain LRU would also have picked it here; the point is the
+        // cache never holds an expired entry past a capacity insert.
+        c.insert(&n("new.test"), RrType::A, vec![a_record("new.test", 300)], at(10));
+        assert!(c.get(&n("fresh.test"), RrType::A, at(11)).is_some());
+        assert!(c.get(&n("new.test"), RrType::A, at(11)).is_some());
+        assert!(c.get(&n("old.test"), RrType::A, at(11)).is_none());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::dos::{DirectedClient, DosPolicy, ResolverDirective};
 use crate::ecosystem::{Ecosystem, Role};
 use crate::fallback::P1Policy;
 use crate::measurement::{PlannedQuery, QueryClient};
+use crate::runner::Runner;
 use cdn_sim::MultiCdnRouter;
 use dns_server::plugins::{AuthoritativePlugin, CachePlugin, ScopePlugin};
 use dns_server::{DnsServer, SendStrategy, ServerConfig, Zone};
@@ -30,11 +31,22 @@ pub fn table1() -> String {
     out
 }
 
-/// Renders Table 2.
+/// Renders Table 2. Serial wrapper around [`table2_with`].
 pub fn table2() -> String {
+    table2_with(&Runner::default())
+}
+
+/// [`table2`] with the role rows rendered as runner trials (merged in
+/// role order — the table reads identically at any thread count).
+pub fn table2_with(runner: &Runner) -> String {
+    let roles = Role::all();
+    let rows = runner.run(roles.len(), |i| {
+        let r = roles[i];
+        format!("{:<18} {}\n", r.to_string(), r.responsibility())
+    });
     let mut out = String::from("== Table 2 — entities and roles in MEC-CDN ==\n");
-    for r in Role::all() {
-        out.push_str(&format!("{:<18} {}\n", r.to_string(), r.responsibility()));
+    for row in rows {
+        out.push_str(&row);
     }
     let eco = Ecosystem::mec_cdn_proposal();
     out.push_str("proposal: ");
@@ -188,20 +200,34 @@ impl netsim::NodeBehavior for Nop {}
 
 /// Runs the Figure 2 measurement. Returns one [`Figure`] whose bars are
 /// `<site> / <access network>` — the fifteen bars of Figure 2 — plus
-/// the per-answer data needed by Figure 3.
+/// the per-answer data needed by Figure 3. Serial wrapper around
+/// [`fig2_fig3_with`].
 pub fn fig2_fig3(seed: u64) -> (Figure, Vec<DistributionFigure>) {
-    let mut fig2 = Figure::new(
-        "fig2",
-        "DNS lookup latency for CDN domains over three access networks",
-    );
-    // site → (access label → pool label → count)
-    type PoolPercents = Vec<(String, f64)>;
-    let mut dist: HashMap<&'static str, Vec<(String, PoolPercents)>> = HashMap::new();
+    fig2_fig3_with(seed, &Runner::default())
+}
 
-    for kind in AccessKind::all() {
-        let mut world = build_access_world(kind, seed ^ kind as u64);
+/// Per-site results of one access-network trial, in `SITES` order.
+struct AccessTrial {
+    /// `Bar` per site with at least one answered query.
+    bars: Vec<Bar>,
+    /// `(site name, pool label → percent)` per site.
+    pools: Vec<(&'static str, Vec<(String, f64)>)>,
+}
+
+/// [`fig2_fig3`] with the access-network campaigns fanned out on
+/// `runner` — one trial per [`AccessKind`], each on its own derived
+/// seed, merged in access-kind order.
+pub fn fig2_fig3_with(seed: u64, runner: &Runner) -> (Figure, Vec<DistributionFigure>) {
+    let kinds = AccessKind::all();
+    let trials = runner.run_seeded(kinds.len(), seed, |idx, trial_seed| {
+        let kind = kinds[idx];
+        let mut world = build_access_world(kind, trial_seed);
         world.net.run();
         let measured = world.net.behavior::<QueryClient>(world.client).measured.clone();
+        let mut trial = AccessTrial {
+            bars: Vec::new(),
+            pools: Vec::new(),
+        };
         for site in SITES {
             let name = Name::parse(site.domain).unwrap();
             let mut samples = Samples::new();
@@ -219,7 +245,7 @@ pub fn fig2_fig3(seed: u64) -> (Figure, Vec<DistributionFigure>) {
                 }
             }
             if let Some(summary) = samples.summarize() {
-                fig2.bars.push(Bar::from_summary(
+                trial.bars.push(Bar::from_summary(
                     format!("{} / {}", site.name, kind.label()),
                     &summary,
                 ));
@@ -229,7 +255,24 @@ pub fn fig2_fig3(seed: u64) -> (Figure, Vec<DistributionFigure>) {
                 .map(|(k, v)| (k, 100.0 * v as f64 / answered.max(1) as f64))
                 .collect();
             pcts.sort_by(|a, b| a.0.cmp(&b.0));
-            dist.entry(site.name)
+            trial.pools.push((site.name, pcts));
+        }
+        trial
+    });
+
+    // Index-ordered merge: bars and distributions appear exactly as the
+    // old serial loop emitted them.
+    let mut fig2 = Figure::new(
+        "fig2",
+        "DNS lookup latency for CDN domains over three access networks",
+    );
+    // site → (access label, pool label → percent)
+    type PoolPercents = Vec<(String, f64)>;
+    let mut dist: HashMap<&'static str, Vec<(String, PoolPercents)>> = HashMap::new();
+    for (kind, trial) in kinds.iter().zip(trials) {
+        fig2.bars.extend(trial.bars);
+        for (site_name, pcts) in trial.pools {
+            dist.entry(site_name)
                 .or_default()
                 .push((kind.label().to_string(), pcts));
         }
@@ -272,14 +315,24 @@ pub fn classify_pool(site: &Site, addr: Ipv4Addr) -> String {
 }
 
 /// Runs Figure 5: the six deployments, each split into wireless and
-/// resolver components.
+/// resolver components. Serial wrapper around [`fig5_with`].
 pub fn fig5(cfg: &TestbedConfig) -> Figure {
-    let mut fig = Figure::new(
-        "fig5",
-        "DNS lookup latency on the LTE testbed for six resolver deployments",
-    );
-    for kind in DeploymentKind::all() {
-        let mut d = Deployment::build(kind, cfg);
+    fig5_with(cfg, &Runner::default())
+}
+
+/// [`fig5`] with the six deployment campaigns fanned out on `runner` —
+/// one trial per [`DeploymentKind`], each testbed seeded by
+/// [`crate::derive_seed`] from `cfg.seed` and the deployment index,
+/// merged in deployment order.
+pub fn fig5_with(cfg: &TestbedConfig, runner: &Runner) -> Figure {
+    let kinds = DeploymentKind::all();
+    let bars = runner.run_seeded(kinds.len(), cfg.seed, |idx, trial_seed| {
+        let kind = kinds[idx];
+        let trial_cfg = TestbedConfig {
+            seed: trial_seed,
+            ..cfg.clone()
+        };
+        let mut d = Deployment::build(kind, &trial_cfg);
         let (_, split) = d.run_measure();
         let mut total = Samples::new();
         let mut wireless = Samples::new();
@@ -289,7 +342,7 @@ pub fn fig5(cfg: &TestbedConfig) -> Figure {
         }
         let t = total.summarize().expect("deployment produced samples");
         let w = wireless.summarize().expect("deployment produced samples");
-        fig.stacked.push(StackedBar {
+        StackedBar {
             label: kind.label().to_string(),
             total_ms: t.trimmed_mean_ms,
             wireless_ms: w.trimmed_mean_ms,
@@ -297,8 +350,13 @@ pub fn fig5(cfg: &TestbedConfig) -> Figure {
             min_ms: t.min_ms,
             max_ms: t.max_ms,
             samples: t.samples,
-        });
-    }
+        }
+    });
+    let mut fig = Figure::new(
+        "fig5",
+        "DNS lookup latency on the LTE testbed for six resolver deployments",
+    );
+    fig.stacked = bars;
     let get = |label: &str| {
         fig.stacked
             .iter()

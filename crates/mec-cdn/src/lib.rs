@@ -27,6 +27,9 @@
 //!   behind one MEC address.
 //! * [`experiments`] — turn-key reproductions of every table and figure,
 //!   returning serializable [`workload::Figure`] data.
+//! * [`runner`] — the parallel trial runner the campaigns fan out on:
+//!   per-trial derived seeds and index-ordered merges keep results
+//!   bit-identical at any thread count.
 
 pub mod deployments;
 pub mod dos;
@@ -35,8 +38,10 @@ pub mod experiments;
 pub mod fallback;
 pub mod ip_reuse;
 pub mod measurement;
+pub mod runner;
 
 pub use deployments::{Deployment, DeploymentKind, TestbedConfig};
 pub use dos::{DosPolicy, ResolverDirective};
 pub use ecosystem::{Entity, Role};
 pub use measurement::{MeasuredQuery, QueryClient};
+pub use runner::{derive_seed, Runner};

@@ -141,6 +141,81 @@ proptest! {
     }
 
     #[test]
+    fn merging_any_partition_equals_recording_serially(
+        values in proptest::collection::vec(0.0f64..10_000.0, 0..200),
+        cuts in proptest::collection::vec(any::<u16>(), 0..8),
+    ) {
+        // Reference: record every value into one collection serially.
+        let mut serial = Samples::new();
+        for &v in &values {
+            serial.record_ms(v);
+        }
+
+        // Split the same values into contiguous chunks at arbitrary cut
+        // points (the shape a per-trial parallel run produces), record
+        // each chunk into its own Samples, then merge in order.
+        let mut bounds: Vec<usize> = cuts
+            .iter()
+            .map(|&c| if values.is_empty() { 0 } else { c as usize % (values.len() + 1) })
+            .collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+        let mut merged = Samples::new();
+        for w in bounds.windows(2) {
+            let mut part = Samples::new();
+            for &v in &values[w[0]..w[1]] {
+                part.record_ms(v);
+            }
+            merged.merge(&part);
+        }
+
+        // merge preserves order exactly, so the collections are
+        // indistinguishable: raw values and every derived statistic.
+        prop_assert_eq!(merged.values_ms(), serial.values_ms());
+        prop_assert_eq!(merged.len(), serial.len());
+        match (serial.summarize(), merged.summarize()) {
+            (None, None) => prop_assert!(values.is_empty()),
+            (Some(s), Some(m)) => {
+                prop_assert_eq!(s.trimmed_mean_ms, m.trimmed_mean_ms);
+                prop_assert_eq!(s.min_ms, m.min_ms);
+                prop_assert_eq!(s.max_ms, m.max_ms);
+                prop_assert_eq!(s.p50_ms, m.p50_ms);
+                prop_assert_eq!(s.samples, m.samples);
+            }
+            _ => prop_assert!(false, "summaries disagree on emptiness"),
+        }
+        for p in [0.0, 8.0, 50.0, 92.0, 100.0] {
+            prop_assert_eq!(serial.percentile(p), merged.percentile(p));
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_over_three_parts(
+        a in proptest::collection::vec(0.0f64..1000.0, 0..50),
+        b in proptest::collection::vec(0.0f64..1000.0, 0..50),
+        c in proptest::collection::vec(0.0f64..1000.0, 0..50),
+    ) {
+        let as_samples = |vs: &[f64]| {
+            let mut s = Samples::new();
+            for &v in vs {
+                s.record_ms(v);
+            }
+            s
+        };
+        // (a + b) + c
+        let mut left = as_samples(&a);
+        left.merge(&as_samples(&b));
+        left.merge(&as_samples(&c));
+        // a + (b + c)
+        let mut bc = as_samples(&b);
+        bc.merge(&as_samples(&c));
+        let mut right = as_samples(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.values_ms(), right.values_ms());
+    }
+
+    #[test]
     fn cidr_contains_its_own_hosts(a in any::<u32>(), prefix in 0u8..=32, i in any::<u16>()) {
         let c = Cidr::new(IpAddr::V4(a.into()), prefix);
         prop_assert!(c.contains(c.nth_host(u64::from(i))));

@@ -1,0 +1,60 @@
+//! Golden-figure snapshots: the exact serialized bytes of Figure 2 and
+//! Figure 5 for the paper's seed (2020) are committed under
+//! `tests/golden/` and byte-compared on every run.
+//!
+//! This catches *any* unintended numeric drift — in the simulator, the
+//! RNG, the runner's seed derivation, or the JSON renderer. When a
+//! change is intentional, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p mec-cdn --test golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use mec_cdn::experiments;
+use mec_cdn::{Runner, TestbedConfig};
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 2020;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        committed == rendered,
+        "{name} diverged from the committed snapshot.\n\
+         If this change is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff.\n\
+         --- committed ---\n{committed}\n--- produced ---\n{rendered}"
+    );
+}
+
+#[test]
+fn fig2_matches_committed_snapshot() {
+    let (fig2, _) = experiments::fig2_fig3_with(SEED, &Runner::new(2));
+    let mut json = serde_json::to_string_pretty(&fig2).unwrap();
+    json.push('\n');
+    check("fig2.json", &json);
+}
+
+#[test]
+fn fig5_matches_committed_snapshot() {
+    let fig5 = experiments::fig5_with(&TestbedConfig::default(), &Runner::new(2));
+    let mut json = serde_json::to_string_pretty(&fig5).unwrap();
+    json.push('\n');
+    check("fig5.json", &json);
+}

@@ -1,0 +1,650 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `proptest!`/`prop_assert*!`, `Strategy` + `prop_map`, `any::<T>()`,
+//! integer/float ranges, regex-string strategies of the `[class]{m,n}`
+//! form, `collection::vec`, `option::of`, tuples, `prop_oneof!`, and
+//! `sample::Index`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! with the generated inputs' `Debug` rendering (every bound name is
+//! printed), which is enough to reproduce since generation is
+//! deterministic per test name.
+
+pub mod test_runner {
+    /// Deterministic xorshift-style RNG used to generate test cases.
+    ///
+    /// Seeded from the test's name so runs are reproducible and
+    /// independent of execution order.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// splitmix64 step.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Modulo bias is irrelevant for test-case generation.
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Run-time configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Object-safe: `prop_oneof!` stores arms as
+    /// `Box<dyn Strategy<Value = T>>`.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn gen(&self, rng: &mut TestRng) -> S::Value {
+            (**self).gen(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn gen(&self, rng: &mut TestRng) -> S::Value {
+            (**self).gen(rng)
+        }
+    }
+
+    /// `strategy.prop_map(f)`.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn gen(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type. Used by
+    /// [`prop_oneof!`](crate::prop_oneof) so arms of different concrete
+    /// types can share a `Vec`.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Uniform choice between boxed strategies (unweighted
+    /// `prop_oneof!`).
+    pub struct Union<T: Debug> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].gen(rng)
+        }
+    }
+
+    // ---- numeric ranges as strategies ----------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (lo + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn gen(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn gen(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    // ---- string literals as regex strategies ---------------------------
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen(&self, rng: &mut TestRng) -> String {
+            crate::string::RegexStrategy::compile(self)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+                .gen(rng)
+        }
+    }
+
+    // ---- tuples ---------------------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+    }
+
+    // ---- any::<T>() ------------------------------------------------------
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Debug + Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Two draws so u128 gets full entropy; cheap for the rest.
+                    let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+                    wide as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Some-biased, matching proptest's default 3:1 weighting.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A compiled `[class]{m,n}` pattern — the only regex shape the
+    /// workspace's strategies use (optionally repeated, e.g.
+    /// `[a-z]{1,8}`); each repetition draws one char from the class.
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    impl RegexStrategy {
+        pub fn compile(pattern: &str) -> Result<Self, String> {
+            let rest = pattern
+                .strip_prefix('[')
+                .ok_or_else(|| format!("unsupported regex `{pattern}`: must start with `[`"))?;
+            let close = rest
+                .find(']')
+                .ok_or_else(|| format!("unclosed class in `{pattern}`"))?;
+            let class: Vec<char> = rest[..close].chars().collect();
+            let mut alphabet = Vec::new();
+            let mut i = 0;
+            while i < class.len() {
+                // `X-Y` is a range unless `-` is first/last in the class.
+                if i + 2 < class.len() && class[i + 1] == '-' {
+                    let (lo, hi) = (class[i], class[i + 2]);
+                    if lo > hi {
+                        return Err(format!("reversed range `{lo}-{hi}` in `{pattern}`"));
+                    }
+                    for c in lo..=hi {
+                        alphabet.push(c);
+                    }
+                    i += 3;
+                } else {
+                    alphabet.push(class[i]);
+                    i += 1;
+                }
+            }
+            if alphabet.is_empty() {
+                return Err(format!("empty class in `{pattern}`"));
+            }
+            let quant = &rest[close + 1..];
+            let (min, max) = if quant.is_empty() {
+                (1, 1)
+            } else {
+                let inner = quant
+                    .strip_prefix('{')
+                    .and_then(|q| q.strip_suffix('}'))
+                    .ok_or_else(|| format!("unsupported quantifier `{quant}` in `{pattern}`"))?;
+                match inner.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().map_err(|e| format!("{e}"))?,
+                        n.trim().parse().map_err(|e| format!("{e}"))?,
+                    ),
+                    None => {
+                        let n: usize = inner.trim().parse().map_err(|e| format!("{e}"))?;
+                        (n, n)
+                    }
+                }
+            };
+            if min > max {
+                return Err(format!("reversed quantifier in `{pattern}`"));
+            }
+            Ok(RegexStrategy { alphabet, min, max })
+        }
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn gen(&self, rng: &mut TestRng) -> String {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| self.alphabet[rng.below(self.alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// `proptest::string::string_regex(pattern)`.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+        RegexStrategy::compile(pattern)
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is only known at use
+    /// time: `idx.index(len)` is uniform in `[0, len)`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Like `assert!`, but reports through the proptest harness. No
+/// shrinking in the vendored stand-in: it panics with the message and
+/// the harness prints the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "prop_assert_eq failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq failed: {:?} != {:?}: {}",
+                l, r, format_args!($($fmt)*)
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "prop_assert_ne failed: both {:?}", l);
+    }};
+}
+
+/// Unweighted choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// The proptest test-block macro: turns each
+/// `fn name(pat in strategy, ...)` into a `#[test]` that runs the body
+/// over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($items)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                $(let $pat = $crate::strategy::Strategy::gen(&($strat), &mut __rng);)+
+                let __case_desc = format!(
+                    concat!("case {}: ", $(stringify!($pat), " = {:?}; ",)+),
+                    __case, $(&$pat),+
+                );
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body
+                ));
+                if let Err(panic) = __result {
+                    eprintln!("proptest failure in {}: {}", stringify!($name), __case_desc);
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategy_matches_class_and_length() {
+        let s = crate::string::string_regex("[a-z0-9./-]{1,40}").unwrap();
+        let mut rng = crate::test_runner::TestRng::from_name("regex");
+        for _ in 0..200 {
+            let v = Strategy::gen(&s, &mut rng);
+            assert!((1..=40).contains(&v.len()), "{v:?}");
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "./-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class_parses() {
+        let s = crate::string::string_regex("[ -~]{0,40}").unwrap();
+        let mut rng = crate::test_runner::TestRng::from_name("ascii");
+        for _ in 0..100 {
+            let v = Strategy::gen(&s, &mut rng);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_name("ranges");
+        for _ in 0..500 {
+            let a = Strategy::gen(&(1u32..8), &mut rng);
+            assert!((1..8).contains(&a));
+            let b = Strategy::gen(&(0u8..=32), &mut rng);
+            assert!(b <= 32);
+            let c = Strategy::gen(&(0.0f64..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&c));
+            let d = Strategy::gen(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![1u32..2, 10u32..11, 100u32..101];
+        let mut rng = crate::test_runner::TestRng::from_name("oneof");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(Strategy::gen(&s, &mut rng));
+        }
+        assert_eq!(seen, [1u32, 10, 100].into_iter().collect());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_and_runs(xs in crate::collection::vec(any::<u8>(), 0..16), n in 1usize..10) {
+            prop_assert!(xs.len() < 16);
+            prop_assert!(n >= 1 && n < 10);
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            v in (any::<u16>(), 0u8..4).prop_map(|(a, b)| u32::from(a) + u32::from(b)),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(v <= u32::from(u16::MAX) + 3);
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand` it actually uses: a seedable
+//! deterministic generator (`rngs::StdRng`), `Rng::gen_range` over
+//! integer and float ranges, and `Rng::gen_bool`. The generator is
+//! xoshiro256++ seeded through splitmix64 — statistically solid for
+//! simulation workloads and fully deterministic per seed, which is the
+//! property every experiment in this workspace leans on.
+//!
+//! Streams differ from upstream `rand`'s ChaCha-based `StdRng`, so
+//! absolute simulated values differ from runs against the real crate;
+//! all calibration in this repo was re-validated against this
+//! implementation.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be created from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (the only constructor this
+    /// workspace uses).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling a uniform value of `Self` from a range, given a generator.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform sample in `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let span = hi - lo;
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        lo + wide % span
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        if lo == 0 && hi == u128::MAX {
+            return ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        }
+        Self::sample_half_open(rng, lo, hi + 1)
+    }
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // 53 (resp. 24) high bits → uniform in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = lo as f64 + (hi as f64 - lo as f64) * unit;
+                // Guard against rounding up to `hi` at the top of the range.
+                if v as $t >= hi { lo } else { v as $t }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                (lo as f64 + (hi as f64 - lo as f64) * unit) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// The user-facing generator interface (subset).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        T: SampleUniform,
+        Ra: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's
+    /// `StdRng`; different stream, same interface).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.gen_range(0.0f64..1.0), b.gen_range(0.0f64..1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn float_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(3.0..5.0);
+            assert!((3.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_central() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Inclusive ranges reach their upper bound.
+        let mut hit_top = false;
+        for _ in 0..200 {
+            if rng.gen_range(0u8..=3) == 3 {
+                hit_top = true;
+            }
+        }
+        assert!(hit_top);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

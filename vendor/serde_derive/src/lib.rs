@@ -1,0 +1,265 @@
+//! Derive macros for the vendored `serde`.
+//!
+//! `syn`/`quote` are unavailable offline, so the input token stream is
+//! parsed by hand. Supported shapes — the only ones this workspace
+//! derives on:
+//!
+//! * structs with named fields, honouring `#[serde(default)]`
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant-name string, as serde does)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a named-field struct.
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Input {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// True when an attribute group (the `[...]` tokens) is `serde(default)`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner)))
+            if i.to_string() == "serde" && inner.delimiter() == Delimiter::Parenthesis =>
+        {
+            inner.stream().into_iter().any(|t| match t {
+                TokenTree::Ident(i) => i.to_string() == "default",
+                _ => false,
+            })
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `tokens[*pos..]`; returns whether
+/// any of them was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        has_default |= attr_is_serde_default(g);
+                        *pos += 2;
+                        continue;
+                    }
+                }
+                panic!("serde_derive: malformed attribute");
+            }
+            _ => break,
+        }
+    }
+    has_default
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_struct_fields(body: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let has_default = skip_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected ':' after field name, found {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(pos) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn parse_enum_variants(body: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            other => panic!(
+                "serde_derive: only unit enum variants are supported, found {other:?} after {name}"
+            ),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    pos += 1;
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde_derive: only brace-bodied types without generics are supported, found {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_struct_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_enum_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let members: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                         ::serde::json::Value::Object(vec![{members}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                         ::serde::json::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated code parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let members: String = fields
+                .iter()
+                .map(|f| {
+                    let fname = &f.name;
+                    let missing = if f.has_default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return Err(format!(\"missing field `{fname}` in {name}\"))"
+                        )
+                    };
+                    format!(
+                        "{fname}: match v.get(\"{fname}\") {{\n\
+                             Some(m) => ::serde::Deserialize::from_value(m)?,\n\
+                             None => {missing},\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::json::Value) -> ::std::result::Result<Self, String> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return Err(format!(\"expected object for {name}\"));\n\
+                         }}\n\
+                         Ok({name} {{ {members} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::json::Value) -> ::std::result::Result<Self, String> {{\n\
+                         match v {{\n\
+                             ::serde::json::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(format!(\"unknown {name} variant `{{other}}`\")),\n\
+                             }},\n\
+                             other => Err(format!(\"expected string for {name}, found {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated code parses")
+}
