@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_suite-6b98608125353f40.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_suite-6b98608125353f40.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_suite-6b98608125353f40.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_suite-b4e426191054ac71.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench_suite-b4e426191054ac71: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cdn_sim-045243482ff783c9.d: crates/cdn-sim/src/lib.rs crates/cdn-sim/src/cache.rs crates/cdn-sim/src/client.rs crates/cdn-sim/src/commercial.rs crates/cdn-sim/src/content.rs crates/cdn-sim/src/geo.rs crates/cdn-sim/src/origin.rs crates/cdn-sim/src/protocol.rs crates/cdn-sim/src/router.rs crates/cdn-sim/src/tier.rs
+
+/root/repo/target/debug/deps/cdn_sim-045243482ff783c9: crates/cdn-sim/src/lib.rs crates/cdn-sim/src/cache.rs crates/cdn-sim/src/client.rs crates/cdn-sim/src/commercial.rs crates/cdn-sim/src/content.rs crates/cdn-sim/src/geo.rs crates/cdn-sim/src/origin.rs crates/cdn-sim/src/protocol.rs crates/cdn-sim/src/router.rs crates/cdn-sim/src/tier.rs
+
+crates/cdn-sim/src/lib.rs:
+crates/cdn-sim/src/cache.rs:
+crates/cdn-sim/src/client.rs:
+crates/cdn-sim/src/commercial.rs:
+crates/cdn-sim/src/content.rs:
+crates/cdn-sim/src/geo.rs:
+crates/cdn-sim/src/origin.rs:
+crates/cdn-sim/src/protocol.rs:
+crates/cdn-sim/src/router.rs:
+crates/cdn-sim/src/tier.rs:

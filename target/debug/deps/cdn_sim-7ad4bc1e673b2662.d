@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cdn_sim-7ad4bc1e673b2662.d: crates/cdn-sim/src/lib.rs crates/cdn-sim/src/cache.rs crates/cdn-sim/src/client.rs crates/cdn-sim/src/commercial.rs crates/cdn-sim/src/content.rs crates/cdn-sim/src/geo.rs crates/cdn-sim/src/origin.rs crates/cdn-sim/src/protocol.rs crates/cdn-sim/src/router.rs crates/cdn-sim/src/tier.rs
+
+/root/repo/target/debug/deps/libcdn_sim-7ad4bc1e673b2662.rlib: crates/cdn-sim/src/lib.rs crates/cdn-sim/src/cache.rs crates/cdn-sim/src/client.rs crates/cdn-sim/src/commercial.rs crates/cdn-sim/src/content.rs crates/cdn-sim/src/geo.rs crates/cdn-sim/src/origin.rs crates/cdn-sim/src/protocol.rs crates/cdn-sim/src/router.rs crates/cdn-sim/src/tier.rs
+
+/root/repo/target/debug/deps/libcdn_sim-7ad4bc1e673b2662.rmeta: crates/cdn-sim/src/lib.rs crates/cdn-sim/src/cache.rs crates/cdn-sim/src/client.rs crates/cdn-sim/src/commercial.rs crates/cdn-sim/src/content.rs crates/cdn-sim/src/geo.rs crates/cdn-sim/src/origin.rs crates/cdn-sim/src/protocol.rs crates/cdn-sim/src/router.rs crates/cdn-sim/src/tier.rs
+
+crates/cdn-sim/src/lib.rs:
+crates/cdn-sim/src/cache.rs:
+crates/cdn-sim/src/client.rs:
+crates/cdn-sim/src/commercial.rs:
+crates/cdn-sim/src/content.rs:
+crates/cdn-sim/src/geo.rs:
+crates/cdn-sim/src/origin.rs:
+crates/cdn-sim/src/protocol.rs:
+crates/cdn-sim/src/router.rs:
+crates/cdn-sim/src/tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-3b287325e8040c71.d: crates/mec-cdn/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-3b287325e8040c71: crates/mec-cdn/../../tests/determinism.rs
+
+crates/mec-cdn/../../tests/determinism.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dns_server-c2127a3bd8226241.d: crates/dns-server/src/lib.rs crates/dns-server/src/cache.rs crates/dns-server/src/plugin.rs crates/dns-server/src/plugins.rs crates/dns-server/src/server.rs crates/dns-server/src/stub.rs crates/dns-server/src/zone.rs
+
+/root/repo/target/debug/deps/dns_server-c2127a3bd8226241: crates/dns-server/src/lib.rs crates/dns-server/src/cache.rs crates/dns-server/src/plugin.rs crates/dns-server/src/plugins.rs crates/dns-server/src/server.rs crates/dns-server/src/stub.rs crates/dns-server/src/zone.rs
+
+crates/dns-server/src/lib.rs:
+crates/dns-server/src/cache.rs:
+crates/dns-server/src/plugin.rs:
+crates/dns-server/src/plugins.rs:
+crates/dns-server/src/server.rs:
+crates/dns-server/src/stub.rs:
+crates/dns-server/src/zone.rs:

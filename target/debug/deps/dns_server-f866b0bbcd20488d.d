@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dns_server-f866b0bbcd20488d.d: crates/dns-server/src/lib.rs crates/dns-server/src/cache.rs crates/dns-server/src/plugin.rs crates/dns-server/src/plugins.rs crates/dns-server/src/server.rs crates/dns-server/src/stub.rs crates/dns-server/src/zone.rs
+
+/root/repo/target/debug/deps/libdns_server-f866b0bbcd20488d.rlib: crates/dns-server/src/lib.rs crates/dns-server/src/cache.rs crates/dns-server/src/plugin.rs crates/dns-server/src/plugins.rs crates/dns-server/src/server.rs crates/dns-server/src/stub.rs crates/dns-server/src/zone.rs
+
+/root/repo/target/debug/deps/libdns_server-f866b0bbcd20488d.rmeta: crates/dns-server/src/lib.rs crates/dns-server/src/cache.rs crates/dns-server/src/plugin.rs crates/dns-server/src/plugins.rs crates/dns-server/src/server.rs crates/dns-server/src/stub.rs crates/dns-server/src/zone.rs
+
+crates/dns-server/src/lib.rs:
+crates/dns-server/src/cache.rs:
+crates/dns-server/src/plugin.rs:
+crates/dns-server/src/plugins.rs:
+crates/dns-server/src/server.rs:
+crates/dns-server/src/stub.rs:
+crates/dns-server/src/zone.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dns_wire-e2a7f457cd3e14ff.d: crates/dns-wire/src/lib.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/header.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/presentation.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/record.rs crates/dns-wire/src/wire.rs
+
+/root/repo/target/debug/deps/dns_wire-e2a7f457cd3e14ff: crates/dns-wire/src/lib.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/header.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/presentation.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/record.rs crates/dns-wire/src/wire.rs
+
+crates/dns-wire/src/lib.rs:
+crates/dns-wire/src/edns.rs:
+crates/dns-wire/src/error.rs:
+crates/dns-wire/src/header.rs:
+crates/dns-wire/src/message.rs:
+crates/dns-wire/src/name.rs:
+crates/dns-wire/src/presentation.rs:
+crates/dns-wire/src/rdata.rs:
+crates/dns-wire/src/record.rs:
+crates/dns-wire/src/wire.rs:

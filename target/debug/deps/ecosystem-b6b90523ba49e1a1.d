@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecosystem-b6b90523ba49e1a1.d: crates/mec-cdn/../../tests/ecosystem.rs
+
+/root/repo/target/debug/deps/ecosystem-b6b90523ba49e1a1: crates/mec-cdn/../../tests/ecosystem.rs
+
+crates/mec-cdn/../../tests/ecosystem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-62bdac46358a19a0.d: crates/mec-cdn/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-62bdac46358a19a0: crates/mec-cdn/../../tests/end_to_end.rs
+
+crates/mec-cdn/../../tests/end_to_end.rs:

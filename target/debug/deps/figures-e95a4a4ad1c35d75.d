@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-e95a4a4ad1c35d75.d: crates/mec-cdn/../../tests/figures.rs
+
+/root/repo/target/debug/deps/figures-e95a4a4ad1c35d75: crates/mec-cdn/../../tests/figures.rs
+
+crates/mec-cdn/../../tests/figures.rs:

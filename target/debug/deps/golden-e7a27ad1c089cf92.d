@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden-e7a27ad1c089cf92.d: crates/mec-cdn/../../tests/golden.rs
+
+/root/repo/target/debug/deps/golden-e7a27ad1c089cf92: crates/mec-cdn/../../tests/golden.rs
+
+crates/mec-cdn/../../tests/golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/mec-cdn

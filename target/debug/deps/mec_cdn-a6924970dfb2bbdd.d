@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mec_cdn-a6924970dfb2bbdd.d: crates/mec-cdn/src/lib.rs crates/mec-cdn/src/deployments.rs crates/mec-cdn/src/dos.rs crates/mec-cdn/src/ecosystem.rs crates/mec-cdn/src/experiments.rs crates/mec-cdn/src/fallback.rs crates/mec-cdn/src/ip_reuse.rs crates/mec-cdn/src/measurement.rs crates/mec-cdn/src/runner.rs
+
+/root/repo/target/debug/deps/libmec_cdn-a6924970dfb2bbdd.rlib: crates/mec-cdn/src/lib.rs crates/mec-cdn/src/deployments.rs crates/mec-cdn/src/dos.rs crates/mec-cdn/src/ecosystem.rs crates/mec-cdn/src/experiments.rs crates/mec-cdn/src/fallback.rs crates/mec-cdn/src/ip_reuse.rs crates/mec-cdn/src/measurement.rs crates/mec-cdn/src/runner.rs
+
+/root/repo/target/debug/deps/libmec_cdn-a6924970dfb2bbdd.rmeta: crates/mec-cdn/src/lib.rs crates/mec-cdn/src/deployments.rs crates/mec-cdn/src/dos.rs crates/mec-cdn/src/ecosystem.rs crates/mec-cdn/src/experiments.rs crates/mec-cdn/src/fallback.rs crates/mec-cdn/src/ip_reuse.rs crates/mec-cdn/src/measurement.rs crates/mec-cdn/src/runner.rs
+
+crates/mec-cdn/src/lib.rs:
+crates/mec-cdn/src/deployments.rs:
+crates/mec-cdn/src/dos.rs:
+crates/mec-cdn/src/ecosystem.rs:
+crates/mec-cdn/src/experiments.rs:
+crates/mec-cdn/src/fallback.rs:
+crates/mec-cdn/src/ip_reuse.rs:
+crates/mec-cdn/src/measurement.rs:
+crates/mec-cdn/src/runner.rs:

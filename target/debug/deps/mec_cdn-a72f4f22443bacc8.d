@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mec_cdn-a72f4f22443bacc8.d: crates/mec-cdn/src/lib.rs crates/mec-cdn/src/deployments.rs crates/mec-cdn/src/dos.rs crates/mec-cdn/src/ecosystem.rs crates/mec-cdn/src/experiments.rs crates/mec-cdn/src/fallback.rs crates/mec-cdn/src/ip_reuse.rs crates/mec-cdn/src/measurement.rs crates/mec-cdn/src/runner.rs
+
+/root/repo/target/debug/deps/mec_cdn-a72f4f22443bacc8: crates/mec-cdn/src/lib.rs crates/mec-cdn/src/deployments.rs crates/mec-cdn/src/dos.rs crates/mec-cdn/src/ecosystem.rs crates/mec-cdn/src/experiments.rs crates/mec-cdn/src/fallback.rs crates/mec-cdn/src/ip_reuse.rs crates/mec-cdn/src/measurement.rs crates/mec-cdn/src/runner.rs
+
+crates/mec-cdn/src/lib.rs:
+crates/mec-cdn/src/deployments.rs:
+crates/mec-cdn/src/dos.rs:
+crates/mec-cdn/src/ecosystem.rs:
+crates/mec-cdn/src/experiments.rs:
+crates/mec-cdn/src/fallback.rs:
+crates/mec-cdn/src/ip_reuse.rs:
+crates/mec-cdn/src/measurement.rs:
+crates/mec-cdn/src/runner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mec_orch-65d4b1ada1dc2286.d: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+/root/repo/target/debug/deps/mec_orch-65d4b1ada1dc2286: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+crates/mec-orch/src/lib.rs:
+crates/mec-orch/src/cluster.rs:
+crates/mec-orch/src/deployment.rs:
+crates/mec-orch/src/fabric.rs:
+crates/mec-orch/src/monitor.rs:
+crates/mec-orch/src/registry.rs:

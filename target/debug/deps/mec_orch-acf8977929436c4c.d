@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mec_orch-acf8977929436c4c.d: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+/root/repo/target/debug/deps/libmec_orch-acf8977929436c4c.rlib: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+/root/repo/target/debug/deps/libmec_orch-acf8977929436c4c.rmeta: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+crates/mec-orch/src/lib.rs:
+crates/mec-orch/src/cluster.rs:
+crates/mec-orch/src/deployment.rs:
+crates/mec-orch/src/fabric.rs:
+crates/mec-orch/src/monitor.rs:
+crates/mec-orch/src/registry.rs:

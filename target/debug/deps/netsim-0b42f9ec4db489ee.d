@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/netsim-0b42f9ec4db489ee.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/dist.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/pcap.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libnetsim-0b42f9ec4db489ee.rlib: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/dist.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/pcap.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libnetsim-0b42f9ec4db489ee.rmeta: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/dist.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/pcap.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/dist.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:

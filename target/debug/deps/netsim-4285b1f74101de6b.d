@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netsim-4285b1f74101de6b.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/dist.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/pcap.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/netsim-4285b1f74101de6b: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/dist.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/pcap.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/dist.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:

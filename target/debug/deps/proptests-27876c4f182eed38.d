@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-27876c4f182eed38.d: crates/dns-server/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-27876c4f182eed38: crates/dns-server/tests/proptests.rs
+
+crates/dns-server/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-445af23f8494f3d5.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-445af23f8494f3d5: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-50e51c9393bf917a.d: crates/dns-wire/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-50e51c9393bf917a: crates/dns-wire/tests/proptests.rs
+
+crates/dns-wire/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-73048bc60c4b53e7.d: crates/mec-orch/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-73048bc60c4b53e7: crates/mec-orch/tests/proptests.rs
+
+crates/mec-orch/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b9a7526a3efae38a.d: crates/cdn-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b9a7526a3efae38a: crates/cdn-sim/tests/proptests.rs
+
+crates/cdn-sim/tests/proptests.rs:

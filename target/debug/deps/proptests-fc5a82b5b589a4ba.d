@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fc5a82b5b589a4ba.d: crates/ran-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fc5a82b5b589a4ba: crates/ran-sim/tests/proptests.rs
+
+crates/ran-sim/tests/proptests.rs:

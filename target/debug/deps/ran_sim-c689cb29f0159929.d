@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ran_sim-c689cb29f0159929.d: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+/root/repo/target/debug/deps/ran_sim-c689cb29f0159929: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+crates/ran-sim/src/lib.rs:
+crates/ran-sim/src/epc.rs:
+crates/ran-sim/src/profiles.rs:
+crates/ran-sim/src/ran.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ran_sim-f4712078c19d28e4.d: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+/root/repo/target/debug/deps/libran_sim-f4712078c19d28e4.rlib: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+/root/repo/target/debug/deps/libran_sim-f4712078c19d28e4.rmeta: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+crates/ran-sim/src/lib.rs:
+crates/ran-sim/src/epc.rs:
+crates/ran-sim/src/profiles.rs:
+crates/ran-sim/src/ran.rs:

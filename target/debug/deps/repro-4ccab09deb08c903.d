@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4ccab09deb08c903.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4ccab09deb08c903: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resolution-d0765ffe5ad364b8.d: crates/dns-server/tests/resolution.rs
+
+/root/repo/target/debug/deps/resolution-d0765ffe5ad364b8: crates/dns-server/tests/resolution.rs
+
+crates/dns-server/tests/resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner_scaling-81a725b79436ec07.d: crates/bench/src/bin/runner_scaling.rs
+
+/root/repo/target/debug/deps/runner_scaling-81a725b79436ec07: crates/bench/src/bin/runner_scaling.rs
+
+crates/bench/src/bin/runner_scaling.rs:

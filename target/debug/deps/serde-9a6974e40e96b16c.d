@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-9a6974e40e96b16c.d: vendor/serde/src/lib.rs vendor/serde/src/json.rs
+
+/root/repo/target/debug/deps/serde-9a6974e40e96b16c: vendor/serde/src/lib.rs vendor/serde/src/json.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/json.rs:

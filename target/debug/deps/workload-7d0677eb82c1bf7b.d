@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workload-7d0677eb82c1bf7b.d: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libworkload-7d0677eb82c1bf7b.rlib: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libworkload-7d0677eb82c1bf7b.rmeta: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/figures.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/sites.rs:
+crates/workload/src/zipf.rs:

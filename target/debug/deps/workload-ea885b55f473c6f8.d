@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload-ea885b55f473c6f8.d: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/workload-ea885b55f473c6f8: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/figures.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/sites.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arvr_budget-cb5671b715dcb566.d: crates/mec-cdn/../../examples/arvr_budget.rs
+
+/root/repo/target/debug/examples/arvr_budget-cb5671b715dcb566: crates/mec-cdn/../../examples/arvr_budget.rs
+
+crates/mec-cdn/../../examples/arvr_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dos_fallback-f95f8a907de0f660.d: crates/mec-cdn/../../examples/dos_fallback.rs
+
+/root/repo/target/debug/examples/dos_fallback-f95f8a907de0f660: crates/mec-cdn/../../examples/dos_fallback.rs
+
+crates/mec-cdn/../../examples/dos_fallback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_video-ec965508d87f65ba.d: crates/mec-cdn/../../examples/edge_video.rs
+
+/root/repo/target/debug/examples/edge_video-ec965508d87f65ba: crates/mec-cdn/../../examples/edge_video.rs
+
+crates/mec-cdn/../../examples/edge_video.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobility_handoff-987c6e0eb10ed712.d: crates/mec-cdn/../../examples/mobility_handoff.rs
+
+/root/repo/target/debug/examples/mobility_handoff-987c6e0eb10ed712: crates/mec-cdn/../../examples/mobility_handoff.rs
+
+crates/mec-cdn/../../examples/mobility_handoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f892edfd6233ef80.d: crates/mec-cdn/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f892edfd6233ef80: crates/mec-cdn/../../examples/quickstart.rs
+
+crates/mec-cdn/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tiered_cdn-6c42fb3b3ce72ae3.d: crates/mec-cdn/../../examples/tiered_cdn.rs
+
+/root/repo/target/debug/examples/tiered_cdn-6c42fb3b3ce72ae3: crates/mec-cdn/../../examples/tiered_cdn.rs
+
+crates/mec-cdn/../../examples/tiered_cdn.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_suite-3202e8dde8aff784.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench_suite-3202e8dde8aff784.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench_suite-3202e8dde8aff784.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

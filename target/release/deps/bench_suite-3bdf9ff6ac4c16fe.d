@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_suite-3bdf9ff6ac4c16fe.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench_suite-3bdf9ff6ac4c16fe.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench_suite-3bdf9ff6ac4c16fe.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

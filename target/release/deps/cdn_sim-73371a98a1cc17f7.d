@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cdn_sim-73371a98a1cc17f7.d: crates/cdn-sim/src/lib.rs crates/cdn-sim/src/cache.rs crates/cdn-sim/src/client.rs crates/cdn-sim/src/commercial.rs crates/cdn-sim/src/content.rs crates/cdn-sim/src/geo.rs crates/cdn-sim/src/origin.rs crates/cdn-sim/src/protocol.rs crates/cdn-sim/src/router.rs crates/cdn-sim/src/tier.rs
+
+/root/repo/target/release/deps/libcdn_sim-73371a98a1cc17f7.rlib: crates/cdn-sim/src/lib.rs crates/cdn-sim/src/cache.rs crates/cdn-sim/src/client.rs crates/cdn-sim/src/commercial.rs crates/cdn-sim/src/content.rs crates/cdn-sim/src/geo.rs crates/cdn-sim/src/origin.rs crates/cdn-sim/src/protocol.rs crates/cdn-sim/src/router.rs crates/cdn-sim/src/tier.rs
+
+/root/repo/target/release/deps/libcdn_sim-73371a98a1cc17f7.rmeta: crates/cdn-sim/src/lib.rs crates/cdn-sim/src/cache.rs crates/cdn-sim/src/client.rs crates/cdn-sim/src/commercial.rs crates/cdn-sim/src/content.rs crates/cdn-sim/src/geo.rs crates/cdn-sim/src/origin.rs crates/cdn-sim/src/protocol.rs crates/cdn-sim/src/router.rs crates/cdn-sim/src/tier.rs
+
+crates/cdn-sim/src/lib.rs:
+crates/cdn-sim/src/cache.rs:
+crates/cdn-sim/src/client.rs:
+crates/cdn-sim/src/commercial.rs:
+crates/cdn-sim/src/content.rs:
+crates/cdn-sim/src/geo.rs:
+crates/cdn-sim/src/origin.rs:
+crates/cdn-sim/src/protocol.rs:
+crates/cdn-sim/src/router.rs:
+crates/cdn-sim/src/tier.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dns_server-a68710d790826d3e.d: crates/dns-server/src/lib.rs crates/dns-server/src/cache.rs crates/dns-server/src/plugin.rs crates/dns-server/src/plugins.rs crates/dns-server/src/server.rs crates/dns-server/src/stub.rs crates/dns-server/src/zone.rs
+
+/root/repo/target/release/deps/libdns_server-a68710d790826d3e.rlib: crates/dns-server/src/lib.rs crates/dns-server/src/cache.rs crates/dns-server/src/plugin.rs crates/dns-server/src/plugins.rs crates/dns-server/src/server.rs crates/dns-server/src/stub.rs crates/dns-server/src/zone.rs
+
+/root/repo/target/release/deps/libdns_server-a68710d790826d3e.rmeta: crates/dns-server/src/lib.rs crates/dns-server/src/cache.rs crates/dns-server/src/plugin.rs crates/dns-server/src/plugins.rs crates/dns-server/src/server.rs crates/dns-server/src/stub.rs crates/dns-server/src/zone.rs
+
+crates/dns-server/src/lib.rs:
+crates/dns-server/src/cache.rs:
+crates/dns-server/src/plugin.rs:
+crates/dns-server/src/plugins.rs:
+crates/dns-server/src/server.rs:
+crates/dns-server/src/stub.rs:
+crates/dns-server/src/zone.rs:

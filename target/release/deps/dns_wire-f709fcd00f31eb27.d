@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dns_wire-f709fcd00f31eb27.d: crates/dns-wire/src/lib.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/header.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/presentation.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/record.rs crates/dns-wire/src/wire.rs
+
+/root/repo/target/release/deps/libdns_wire-f709fcd00f31eb27.rlib: crates/dns-wire/src/lib.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/header.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/presentation.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/record.rs crates/dns-wire/src/wire.rs
+
+/root/repo/target/release/deps/libdns_wire-f709fcd00f31eb27.rmeta: crates/dns-wire/src/lib.rs crates/dns-wire/src/edns.rs crates/dns-wire/src/error.rs crates/dns-wire/src/header.rs crates/dns-wire/src/message.rs crates/dns-wire/src/name.rs crates/dns-wire/src/presentation.rs crates/dns-wire/src/rdata.rs crates/dns-wire/src/record.rs crates/dns-wire/src/wire.rs
+
+crates/dns-wire/src/lib.rs:
+crates/dns-wire/src/edns.rs:
+crates/dns-wire/src/error.rs:
+crates/dns-wire/src/header.rs:
+crates/dns-wire/src/message.rs:
+crates/dns-wire/src/name.rs:
+crates/dns-wire/src/presentation.rs:
+crates/dns-wire/src/rdata.rs:
+crates/dns-wire/src/record.rs:
+crates/dns-wire/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_deployments-353f109c9bc45377.d: crates/bench/benches/fig5_deployments.rs
+
+/root/repo/target/release/deps/fig5_deployments-353f109c9bc45377: crates/bench/benches/fig5_deployments.rs
+
+crates/bench/benches/fig5_deployments.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mec_cdn-38fd767702204211.d: crates/mec-cdn/src/lib.rs crates/mec-cdn/src/deployments.rs crates/mec-cdn/src/dos.rs crates/mec-cdn/src/ecosystem.rs crates/mec-cdn/src/experiments.rs crates/mec-cdn/src/fallback.rs crates/mec-cdn/src/ip_reuse.rs crates/mec-cdn/src/measurement.rs crates/mec-cdn/src/runner.rs
+
+/root/repo/target/release/deps/libmec_cdn-38fd767702204211.rlib: crates/mec-cdn/src/lib.rs crates/mec-cdn/src/deployments.rs crates/mec-cdn/src/dos.rs crates/mec-cdn/src/ecosystem.rs crates/mec-cdn/src/experiments.rs crates/mec-cdn/src/fallback.rs crates/mec-cdn/src/ip_reuse.rs crates/mec-cdn/src/measurement.rs crates/mec-cdn/src/runner.rs
+
+/root/repo/target/release/deps/libmec_cdn-38fd767702204211.rmeta: crates/mec-cdn/src/lib.rs crates/mec-cdn/src/deployments.rs crates/mec-cdn/src/dos.rs crates/mec-cdn/src/ecosystem.rs crates/mec-cdn/src/experiments.rs crates/mec-cdn/src/fallback.rs crates/mec-cdn/src/ip_reuse.rs crates/mec-cdn/src/measurement.rs crates/mec-cdn/src/runner.rs
+
+crates/mec-cdn/src/lib.rs:
+crates/mec-cdn/src/deployments.rs:
+crates/mec-cdn/src/dos.rs:
+crates/mec-cdn/src/ecosystem.rs:
+crates/mec-cdn/src/experiments.rs:
+crates/mec-cdn/src/fallback.rs:
+crates/mec-cdn/src/ip_reuse.rs:
+crates/mec-cdn/src/measurement.rs:
+crates/mec-cdn/src/runner.rs:

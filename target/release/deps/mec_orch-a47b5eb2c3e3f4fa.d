@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mec_orch-a47b5eb2c3e3f4fa.d: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+/root/repo/target/release/deps/libmec_orch-a47b5eb2c3e3f4fa.rlib: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+/root/repo/target/release/deps/libmec_orch-a47b5eb2c3e3f4fa.rmeta: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+crates/mec-orch/src/lib.rs:
+crates/mec-orch/src/cluster.rs:
+crates/mec-orch/src/deployment.rs:
+crates/mec-orch/src/fabric.rs:
+crates/mec-orch/src/monitor.rs:
+crates/mec-orch/src/registry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mec_orch-b53a219463928726.d: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+/root/repo/target/release/deps/libmec_orch-b53a219463928726.rlib: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+/root/repo/target/release/deps/libmec_orch-b53a219463928726.rmeta: crates/mec-orch/src/lib.rs crates/mec-orch/src/cluster.rs crates/mec-orch/src/deployment.rs crates/mec-orch/src/fabric.rs crates/mec-orch/src/monitor.rs crates/mec-orch/src/registry.rs
+
+crates/mec-orch/src/lib.rs:
+crates/mec-orch/src/cluster.rs:
+crates/mec-orch/src/deployment.rs:
+crates/mec-orch/src/fabric.rs:
+crates/mec-orch/src/monitor.rs:
+crates/mec-orch/src/registry.rs:

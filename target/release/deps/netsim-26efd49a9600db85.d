@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/netsim-26efd49a9600db85.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/dist.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/pcap.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libnetsim-26efd49a9600db85.rlib: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/dist.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/pcap.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libnetsim-26efd49a9600db85.rmeta: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/dist.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/pcap.rs crates/netsim/src/stats.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/dist.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/pcap.rs:
+crates/netsim/src/stats.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ran_sim-615e6b6cf56318a0.d: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+/root/repo/target/release/deps/libran_sim-615e6b6cf56318a0.rlib: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+/root/repo/target/release/deps/libran_sim-615e6b6cf56318a0.rmeta: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+crates/ran-sim/src/lib.rs:
+crates/ran-sim/src/epc.rs:
+crates/ran-sim/src/profiles.rs:
+crates/ran-sim/src/ran.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ran_sim-b829b890f2f3708a.d: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+/root/repo/target/release/deps/libran_sim-b829b890f2f3708a.rlib: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+/root/repo/target/release/deps/libran_sim-b829b890f2f3708a.rmeta: crates/ran-sim/src/lib.rs crates/ran-sim/src/epc.rs crates/ran-sim/src/profiles.rs crates/ran-sim/src/ran.rs
+
+crates/ran-sim/src/lib.rs:
+crates/ran-sim/src/epc.rs:
+crates/ran-sim/src/profiles.rs:
+crates/ran-sim/src/ran.rs:

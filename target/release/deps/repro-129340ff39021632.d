@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-129340ff39021632.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-129340ff39021632: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-7bb676892a7c50a2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-7bb676892a7c50a2: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runner_scaling-b131f903867a8c5d.d: crates/bench/src/bin/runner_scaling.rs
+
+/root/repo/target/release/deps/runner_scaling-b131f903867a8c5d: crates/bench/src/bin/runner_scaling.rs
+
+crates/bench/src/bin/runner_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale_probe-bb212f7f28b94549.d: crates/bench/src/bin/scale_probe.rs
+
+/root/repo/target/release/deps/scale_probe-bb212f7f28b94549: crates/bench/src/bin/scale_probe.rs
+
+crates/bench/src/bin/scale_probe.rs:

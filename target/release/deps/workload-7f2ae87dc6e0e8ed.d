@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/workload-7f2ae87dc6e0e8ed.d: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libworkload-7f2ae87dc6e0e8ed.rlib: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libworkload-7f2ae87dc6e0e8ed.rmeta: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/figures.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/sites.rs:
+crates/workload/src/zipf.rs:

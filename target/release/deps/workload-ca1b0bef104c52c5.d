@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/workload-ca1b0bef104c52c5.d: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libworkload-ca1b0bef104c52c5.rlib: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libworkload-ca1b0bef104c52c5.rmeta: crates/workload/src/lib.rs crates/workload/src/figures.rs crates/workload/src/gen.rs crates/workload/src/sites.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/figures.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/sites.rs:
+crates/workload/src/zipf.rs:

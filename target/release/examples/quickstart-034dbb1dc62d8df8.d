@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-034dbb1dc62d8df8.d: crates/mec-cdn/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-034dbb1dc62d8df8: crates/mec-cdn/../../examples/quickstart.rs
+
+crates/mec-cdn/../../examples/quickstart.rs:
