@@ -43,6 +43,7 @@ fn bench_selection(c: &mut Criterion) {
         now: SimTime::ZERO,
         client: "203.0.113.7".parse().unwrap(),
         client_port: 40000,
+        telemetry: netsim::Telemetry::default(),
     };
     let cases: Vec<(&str, TrafficRouterPlugin)> = vec![
         ("round_robin", router(Selection::RoundRobin)),

@@ -1,0 +1,49 @@
+//! `bench_baseline` — emits the repo's performance baseline from the
+//! query-path telemetry of the Figure 5 campaign.
+//!
+//! ```text
+//! bench_baseline [--seed N] [--threads N] [--out PATH]
+//! ```
+//!
+//! The output is a `BENCH_*.json` snapshot: the full per-deployment
+//! [`mec_cdn::TelemetryReport`] (counters, histogram summaries, per-query
+//! trace-vs-tap cross-check) plus the wall-clock of the sweep. The JSON
+//! body (everything except the wall-clock, which is real time and
+//! necessarily noisy) is deterministic for a given seed at any thread
+//! count, so future perf PRs can diff their run against the committed
+//! `BENCH_telemetry.json` and see exactly which counters moved.
+
+use mec_cdn::experiments::fig5_telemetry_with;
+use mec_cdn::{Runner, TestbedConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let seed: u64 = flag("--seed").and_then(|s| s.parse().ok()).unwrap_or(2020);
+    let threads: usize = flag("--threads").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_telemetry.json".to_string());
+
+    let cfg = TestbedConfig {
+        seed,
+        ..TestbedConfig::default()
+    };
+    let runner = Runner::new(threads);
+    let t = Instant::now();
+    let (_, report) = fig5_telemetry_with(&cfg, &runner);
+    let wall = t.elapsed();
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("baseline written");
+    print!("{}", report.render());
+    println!(
+        "baseline: {out} ({} bytes, {} trials, sweep took {wall:.2?})",
+        json.len(),
+        report.trials.len()
+    );
+}

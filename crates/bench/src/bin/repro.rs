@@ -7,6 +7,7 @@
 //! repro fig2           # Figure 2: lookup latency per access network
 //! repro fig3           # Figure 3: answer distribution across pools
 //! repro fig5 [--nr]    # Figure 5: the six deployments (--nr: 5G air)
+//! repro telemetry      # per-deployment query-path counters + trace/tap cross-check
 //! repro ecs            # §4: the ECS factors
 //! repro fallback       # §3 ablation: P1 policies
 //! repro dos            # §3 ablation: ingress-threshold switch
@@ -87,24 +88,35 @@ fn main() {
             }
         }
     }
-    if all || what == "fig5" {
+    if all || what == "fig5" || what == "telemetry" {
         let cfg = TestbedConfig {
             seed: SEED,
             radio: if nr { RadioProfile::Nr } else { RadioProfile::Lte },
             ..TestbedConfig::default()
         };
-        let fig = experiments::fig5_with(&cfg, &runner);
-        print!("{}", fig.render());
-        println!(
-            "paper's means (ms): {}",
-            DeploymentKind::all()
-                .map(|k| format!("{}={}", k.label(), k.paper_mean_ms()))
-                .join(", ")
-        );
-        if json {
-            println!("{}", serde_json::to_string_pretty(&fig).unwrap());
+        // One pass over the six worlds yields both the figure and the
+        // query-path telemetry artifact.
+        let (fig, telemetry) = experiments::fig5_telemetry_with(&cfg, &runner);
+        if all || what == "fig5" {
+            print!("{}", fig.render());
+            println!(
+                "paper's means (ms): {}",
+                DeploymentKind::all()
+                    .map(|k| format!("{}={}", k.label(), k.paper_mean_ms()))
+                    .join(", ")
+            );
+            if json {
+                println!("{}", serde_json::to_string_pretty(&fig).unwrap());
+            }
+            println!();
         }
-        println!();
+        if all || what == "telemetry" {
+            print!("{}", telemetry.render());
+            if json {
+                println!("{}", serde_json::to_string_pretty(&telemetry).unwrap());
+            }
+            println!();
+        }
     }
     if all || what == "ecs" {
         let fig = experiments::ecs_experiment(SEED);

@@ -148,26 +148,42 @@ impl Plugin for MultiCdnRouter {
             return PluginDecision::Continue;
         };
         let key = (q.qname.canonical(), ctx.client);
-        let has_specific = self.per_resolver.contains_key(&key);
-        let state = if has_specific {
-            self.per_resolver.get_mut(&key).unwrap()
-        } else if let Some(defaults) = self.defaults.get(&key.0) {
-            let defaults = defaults.clone();
-            self.instantiated
-                .entry(key)
-                .or_insert_with(|| WeightedState::new(defaults))
-        } else {
-            return PluginDecision::Continue;
+        // Single lookup: a specific per-resolver policy wins; otherwise
+        // lazily instantiate the domain default for this resolver. The
+        // picked choice is copied out so neither map borrow outlives the
+        // match (`Cidr` is `Copy`, the provider is `&'static`).
+        let (provider, pool) = match self.per_resolver.get_mut(&key) {
+            Some(state) => {
+                let idx = state.pick();
+                (state.choices[idx].provider, state.choices[idx].pool)
+            }
+            None => {
+                let Some(defaults) = self.defaults.get(&key.0) else {
+                    return PluginDecision::Continue;
+                };
+                let defaults = defaults.clone();
+                let state = self
+                    .instantiated
+                    .entry(key)
+                    .or_insert_with(|| WeightedState::new(defaults));
+                let idx = state.pick();
+                (state.choices[idx].provider, state.choices[idx].pool)
+            }
         };
-        let idx = state.pick();
-        let choice = &state.choices[idx];
+        ctx.telemetry.incr("cdns.multi.answer");
+        ctx.telemetry.mark(
+            u64::from(query.header.id),
+            ctx.now,
+            "cdns.pool_select",
+            format!("{provider} {pool}"),
+        );
         // Address within the pool: rotate deterministically so repeated
         // answers exercise several cache hosts per range.
         let mut h = DefaultHasher::new();
         q.qname.canonical().hash(&mut h);
         self.counter.hash(&mut h);
         self.counter += 1;
-        let addr = match choice.pool.nth_host(h.finish() % 512) {
+        let addr = match pool.nth_host(h.finish() % 512) {
             IpAddr::V4(v4) => v4,
             IpAddr::V6(_) => return PluginDecision::Continue, // v4-only model
         };
@@ -201,6 +217,7 @@ mod tests {
             now: SimTime::ZERO,
             client: client.parse().unwrap(),
             client_port: 40000,
+            telemetry: netsim::Telemetry::default(),
         }
     }
 

@@ -165,6 +165,7 @@ impl Plugin for TrafficRouterPlugin {
             // Not at this tier: hand the query to the next-tier C-DNS —
             // the client transparently gets a farther cache.
             self.referred += 1;
+            ctx.telemetry.incr("cdns.referred");
             return match self.fallback {
                 Some(upstream) => PluginDecision::Forward { upstream },
                 None => {
@@ -182,6 +183,13 @@ impl Plugin for TrafficRouterPlugin {
                 None => (ctx.client, None),
             };
             let cache = self.select(&q.qname, client);
+            ctx.telemetry.incr("cdns.answered");
+            ctx.telemetry.mark(
+                u64::from(query.header.id),
+                ctx.now,
+                "cdns.select",
+                cache.to_string(),
+            );
             resp.answers.push(Record::new(
                 q.qname.clone(),
                 RrClass::In,
@@ -215,6 +223,7 @@ mod tests {
             now: SimTime::ZERO,
             client: client.parse().unwrap(),
             client_port: 40000,
+            telemetry: netsim::Telemetry::default(),
         }
     }
 

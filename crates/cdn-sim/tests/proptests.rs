@@ -15,6 +15,7 @@ fn ctx(client: IpAddr) -> QueryCtx {
         now: SimTime::ZERO,
         client,
         client_port: 40000,
+        telemetry: netsim::Telemetry::default(),
     }
 }
 

@@ -141,7 +141,12 @@ impl DnsCache {
                     .iter()
                     .map(|r| {
                         let mut r = r.clone();
-                        r.ttl = r.ttl.min(remaining_secs.max(1) as u32);
+                        // Serve the truncated remaining lifetime as-is. An
+                        // entry in its final sub-second goes out with TTL 0
+                        // (uncacheable downstream) — rounding it up to 1
+                        // would let downstream caches outlive the
+                        // authoritative expiry.
+                        r.ttl = r.ttl.min(remaining_secs as u32);
                         r
                     })
                     .collect();
@@ -217,6 +222,37 @@ mod tests {
     }
 
     #[test]
+    fn boundary_hit_at_one_nano_before_expiry_miss_at_expiry() {
+        let mut c = DnsCache::new(16);
+        c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 30)], at(0));
+        let expires = at(30);
+        let just_before = SimTime::ZERO + SimDuration::from_nanos(expires.as_nanos() - 1);
+        let (recs, _) = c
+            .get(&n("a.test"), RrType::A, just_before)
+            .expect("one nanosecond of life left is still a hit");
+        // <1 s remaining truncates to 0: served, but uncacheable downstream.
+        assert_eq!(recs[0].ttl, 0);
+        assert!(
+            c.get(&n("a.test"), RrType::A, expires).is_none(),
+            "exactly at expiry must miss"
+        );
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn final_subsecond_serves_ttl_zero_not_one() {
+        let mut c = DnsCache::new(16);
+        c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 5)], at(0));
+        let half_sec_left = at(4) + SimDuration::from_millis(500);
+        let (recs, _) = c.get(&n("a.test"), RrType::A, half_sec_left).unwrap();
+        assert_eq!(
+            recs[0].ttl, 0,
+            "remaining TTL must truncate, never round up to 1"
+        );
+    }
+
+    #[test]
     fn zero_ttl_is_never_cached() {
         let mut c = DnsCache::new(16);
         c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 0)], at(0));
@@ -232,6 +268,20 @@ mod tests {
         assert!(recs.is_empty());
         assert_eq!(rcode, Rcode::NxDomain);
         assert!(c.get(&n("no.test"), RrType::A, at(11)).is_none());
+    }
+
+    #[test]
+    fn negative_entry_ttl_decays_to_boundary() {
+        let mut c = DnsCache::new(16);
+        c.insert_negative(&n("no.test"), RrType::A, Rcode::NxDomain, 10, at(0));
+        // Still a hit through the very last nanosecond of its lifetime...
+        let last_ns = SimTime::ZERO + SimDuration::from_nanos(at(10).as_nanos() - 1);
+        let (recs, rcode) = c.get(&n("no.test"), RrType::A, last_ns).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(rcode, Rcode::NxDomain);
+        // ...and a miss at exactly the expiry instant.
+        assert!(c.get(&n("no.test"), RrType::A, at(10)).is_none());
+        assert!(c.is_empty(), "expired negative entry must be removed");
     }
 
     #[test]

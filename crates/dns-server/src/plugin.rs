@@ -6,7 +6,7 @@
 //! upstream responses via [`Plugin::on_response`] (how the cache fills).
 
 use dns_wire::Message;
-use netsim::SimTime;
+use netsim::{SimTime, Telemetry};
 use std::net::IpAddr;
 
 /// Per-query context a plugin sees.
@@ -21,6 +21,11 @@ pub struct QueryCtx {
     pub client: IpAddr,
     /// Client source port.
     pub client_port: u16,
+    /// Where plugins record counters and resolution breadcrumbs. A
+    /// default handle is a private no-op store, so tests and callers
+    /// that don't collect telemetry construct it with
+    /// `Telemetry::default()`.
+    pub telemetry: Telemetry,
 }
 
 /// What a plugin wants done with a query.
@@ -83,6 +88,7 @@ mod tests {
             now: SimTime::ZERO,
             client: "10.0.0.1".parse().unwrap(),
             client_port: 5000,
+            telemetry: Telemetry::default(),
         };
         match plugins[0].on_query(&ctx, &q) {
             PluginDecision::Respond(r) => assert!(r.header.is_response),

@@ -106,12 +106,22 @@ impl Plugin for CachePlugin {
         };
         match self.cache.get(&q.qname, q.qtype, ctx.now) {
             Some((records, rcode)) => {
+                ctx.telemetry.incr("dns.cache.hit");
+                ctx.telemetry.mark(
+                    u64::from(query.header.id),
+                    ctx.now,
+                    "cache.hit",
+                    q.qname.canonical(),
+                );
                 let mut resp = Message::response_to(query).with_rcode(rcode);
                 resp.answers = records;
                 resp.header.recursion_available = true;
                 PluginDecision::Respond(resp)
             }
-            None => PluginDecision::Continue,
+            None => {
+                ctx.telemetry.incr("dns.cache.miss");
+                PluginDecision::Continue
+            }
         }
     }
 
@@ -225,7 +235,7 @@ impl Plugin for StubDomainPlugin {
         "stub-domain"
     }
 
-    fn on_query(&mut self, _ctx: &QueryCtx, query: &Message) -> PluginDecision {
+    fn on_query(&mut self, ctx: &QueryCtx, query: &Message) -> PluginDecision {
         let Some(q) = query.question() else {
             return PluginDecision::Continue;
         };
@@ -236,7 +246,16 @@ impl Plugin for StubDomainPlugin {
             .filter(|(zone, _)| q.qname.is_subdomain_of(zone))
             .max_by_key(|(zone, _)| zone.label_count());
         match best {
-            Some(&(_, upstream)) => PluginDecision::Forward { upstream },
+            Some(&(_, upstream)) => {
+                ctx.telemetry.incr("dns.stub_domain.redirect");
+                ctx.telemetry.mark(
+                    u64::from(query.header.id),
+                    ctx.now,
+                    "stub_domain.redirect",
+                    upstream.to_string(),
+                );
+                PluginDecision::Forward { upstream }
+            }
             None => PluginDecision::Continue,
         }
     }
@@ -341,6 +360,7 @@ mod tests {
             now: SimTime::ZERO,
             client: "192.168.1.50".parse().unwrap(),
             client_port: 40000,
+            telemetry: netsim::Telemetry::default(),
         }
     }
 

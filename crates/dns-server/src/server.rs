@@ -3,7 +3,7 @@
 
 use crate::plugin::{Plugin, PluginDecision, QueryCtx};
 use dns_wire::{ClientSubnet, Message, Name, Opt, Rcode, Record, RrType};
-use netsim::{Datagram, Latency, NodeBehavior, NodeContext, SimDuration, TimerToken};
+use netsim::{Datagram, Latency, NodeBehavior, NodeContext, SimDuration, Telemetry, TimerToken};
 use std::collections::HashMap;
 use std::net::IpAddr;
 
@@ -91,6 +91,7 @@ struct Job {
 pub struct DnsServer {
     config: ServerConfig,
     plugins: Vec<Box<dyn Plugin>>,
+    telemetry: Telemetry,
     inbox: HashMap<u64, Datagram>,
     next_inbox: u64,
     jobs: HashMap<u64, Job>,
@@ -118,6 +119,7 @@ impl DnsServer {
         DnsServer {
             config,
             plugins,
+            telemetry: Telemetry::default(),
             inbox: HashMap::new(),
             next_inbox: 0,
             jobs: HashMap::new(),
@@ -131,6 +133,13 @@ impl DnsServer {
             upstream_timeouts: 0,
             malformed: 0,
         }
+    }
+
+    /// Routes this server's (and its plugins') telemetry into `t`.
+    /// Builder-style so deployment code can chain it onto `new`.
+    pub fn with_telemetry(mut self, t: Telemetry) -> Self {
+        self.telemetry = t;
+        self
     }
 
     /// Immutable access to a plugin by index (for test assertions on
@@ -157,6 +166,7 @@ impl DnsServer {
             now,
             client: reply_to.src,
             client_port: reply_to.src_port,
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -235,6 +245,13 @@ impl DnsServer {
             JobKind::Recurse(r) => (r.servers[r.server_idx], r.current_name.clone()),
         };
         let up = self.upstream_query(&query, id, reply_to.src, &qname);
+        self.telemetry.incr("dns.upstream.query");
+        self.telemetry.mark(
+            u64::from(query.header.id),
+            ctx.now(),
+            "server.forward",
+            target.to_string(),
+        );
         let job = Job {
             reply_to,
             query,
@@ -525,12 +542,18 @@ impl NodeBehavior for DnsServer {
             }
             TAG_PENDING => {
                 let gen = payload;
-                let Some(job) = self.jobs.get_mut(&gen) else {
-                    return; // already completed
+                let retry = match self.jobs.get_mut(&gen) {
+                    Some(job) if job.attempts_left > 0 => {
+                        job.attempts_left -= 1;
+                        true
+                    }
+                    Some(_) => false,
+                    None => return, // already completed
                 };
                 self.upstream_timeouts += 1;
-                if job.attempts_left > 0 {
-                    job.attempts_left -= 1;
+                self.telemetry.incr("dns.upstream.timeout");
+                if retry {
+                    self.telemetry.incr("dns.upstream.retry");
                     self.resend_job(ctx, gen);
                 } else {
                     self.advance_or_fail(ctx, gen);

@@ -15,7 +15,7 @@
 //! paper's figures plot.
 
 use dns_wire::{ClientSubnet, Message, Name, Rcode, RrType};
-use netsim::{Datagram, NodeContext, SimDuration, SimTime};
+use netsim::{Datagram, NodeContext, SimDuration, SimTime, Telemetry};
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 
@@ -87,6 +87,7 @@ struct Pending {
 pub struct StubEngine {
     pending: HashMap<u16, Pending>,
     next_id: u16,
+    telemetry: Telemetry,
     /// Timeout for unicast retries and for declaring total failure.
     pub query_timeout: SimDuration,
     /// Unicast retries before giving up.
@@ -108,10 +109,19 @@ impl StubEngine {
         StubEngine {
             pending: HashMap::new(),
             next_id: 1,
+            telemetry: Telemetry::default(),
             query_timeout: SimDuration::from_secs(3),
             retries: 1,
             outcomes: Vec::new(),
         }
+    }
+
+    /// Routes this engine's telemetry into `t`. Breadcrumbs are keyed by
+    /// the engine's DNS transaction ids — the same ids the P-GW tap sees
+    /// in the wire payloads, which is what makes trace-vs-tap
+    /// cross-validation possible.
+    pub fn set_telemetry(&mut self, t: Telemetry) {
+        self.telemetry = t;
     }
 
     /// True if the timer `data` belongs to this engine and must be passed
@@ -149,6 +159,9 @@ impl StubEngine {
             ecs,
         };
         self.pending.insert(id, pending);
+        self.telemetry.incr("stub.query");
+        self.telemetry
+            .mark(u64::from(id), ctx.now(), "stub.issue", name.canonical());
         match &strategy {
             SendStrategy::Unicast(server) => {
                 self.transmit(ctx, id, *server);
@@ -228,6 +241,13 @@ impl StubEngine {
             used_fallback,
             ecs_scope: msg.client_subnet().map(|cs| cs.scope_prefix),
         };
+        self.telemetry.observe("stub.rtt", outcome.rtt);
+        self.telemetry.mark(
+            u64::from(msg.header.id),
+            ctx.now(),
+            "stub.answer",
+            dgram.src.to_string(),
+        );
         self.outcomes.push(outcome.clone());
         Some(outcome)
     }
@@ -243,18 +263,26 @@ impl StubEngine {
                 // Primary silent: engage the fallback, then wait the full
                 // query timeout for either to answer.
                 p.fallback_sent = true;
+                self.telemetry.incr("stub.fallback");
+                self.telemetry
+                    .mark(u64::from(id), ctx.now(), "stub.fallback", fallback.to_string());
                 self.transmit(ctx, id, fallback);
                 ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
                 None
             }
             SendStrategy::Unicast(server) if p.retries_left > 0 => {
                 p.retries_left -= 1;
+                self.telemetry.incr("stub.retry");
+                self.telemetry
+                    .mark(u64::from(id), ctx.now(), "stub.retry", server.to_string());
                 self.transmit(ctx, id, server);
                 ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
                 None
             }
             _ => {
                 let p = self.pending.remove(&id).expect("checked above");
+                self.telemetry.incr("stub.timeout");
+                self.telemetry.mark(u64::from(id), ctx.now(), "stub.timeout", "");
                 let outcome = QueryOutcome {
                     tag: p.tag,
                     name: p.name,

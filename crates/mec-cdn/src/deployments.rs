@@ -26,8 +26,8 @@ use dns_server::plugins::{CachePlugin, KubernetesPlugin, StubDomainPlugin};
 use dns_server::{DnsServer, SendStrategy, ServerConfig};
 use dns_wire::{ClientSubnet, Name};
 use mec_orch::{Cluster, ClusterConfig, Visibility};
-use netsim::{Latency, LinkProfile, Network, NodeId, SimDuration};
-use ran_sim::{EpcConfig, RadioProfile, Ran};
+use netsim::{Latency, LinkProfile, Network, NodeId, SimDuration, Telemetry};
+use ran_sim::{EpcConfig, PgwNat, RadioProfile, Ran};
 use std::net::{IpAddr, Ipv4Addr};
 use workload::sites::{MEC_CDN_DOMAIN, MEC_CDN_ZONE};
 
@@ -194,18 +194,28 @@ pub struct Deployment {
     /// (exportable with [`netsim::pcap`] when the tap captured
     /// payloads).
     pub last_tap: Vec<netsim::TapRecord>,
+    /// The shared telemetry store every instrumented component of this
+    /// world records into: the UE's stub engine, every DNS server and
+    /// its plugins, the RAN and the P-GW NAT.
+    pub telemetry: Telemetry,
 }
 
 impl Deployment {
     /// Builds the world for one Figure 5 bar.
     pub fn build(kind: DeploymentKind, cfg: &TestbedConfig) -> Deployment {
         let mut net = Network::new(cfg.seed);
+        // One telemetry store for the whole world; every component below
+        // records into a clone of this handle.
+        let tel = Telemetry::new();
 
         // ---- RAN + EPC --------------------------------------------------
         let mut ran = Ran::build(&mut net, EpcConfig::default());
+        ran.set_telemetry(tel.clone());
         ran.add_enb(&mut net);
         let pgw = ran.epc.pgw;
         net.enable_tap(pgw);
+        // The P-GW drops DNS-crossing breadcrumbs alongside the tap.
+        net.behavior_mut::<PgwNat>(pgw).set_telemetry(tel.clone());
 
         // ---- MEC cluster with the CDN cache -----------------------------
         let mut cluster = Cluster::new(&mut net, "mec", ClusterConfig::default());
@@ -261,7 +271,8 @@ impl Deployment {
                     &mut net,
                     "cdn",
                     "trafficrouter",
-                    DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router_plugin())]),
+                    DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router_plugin())])
+                        .with_telemetry(tel.clone()),
                 );
                 let svc =
                     cluster.create_service(&mut net, "cdn", "trafficrouter", &[cdns_pod]);
@@ -272,7 +283,8 @@ impl Deployment {
                 let node = net.add_node(
                     "cdns-lan",
                     [addr],
-                    DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router_plugin())]),
+                    DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router_plugin())])
+                        .with_telemetry(tel.clone()),
                 );
                 net.connect(pgw, node, link(dist::LAN_ADJACENT));
                 net.add_default_route(node, pgw);
@@ -283,7 +295,8 @@ impl Deployment {
                 let node = net.add_node(
                     "cdns-wan",
                     [addr],
-                    DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router_plugin())]),
+                    DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router_plugin())])
+                        .with_telemetry(tel.clone()),
                 );
                 net.connect(pgw, node, link(dist::WAN_METRO));
                 net.add_default_route(node, pgw);
@@ -323,13 +336,14 @@ impl Deployment {
                                 cdns_addr,
                             )])),
                         ],
-                    ),
+                    )
+                    .with_telemetry(tel.clone()),
                 );
                 let svc = cluster.create_service(&mut net, "kube-system", "coredns", &[ldns_pod]);
                 svc.cluster_ip
             }
             DeploymentKind::LanLdns => {
-                let far_cdns = build_far_cdns(&mut net, pgw, router_plugin(), cfg);
+                let far_cdns = build_far_cdns(&mut net, pgw, router_plugin(), cfg, &tel);
                 let addr: IpAddr = "10.44.9.1".parse().unwrap();
                 let node = net.add_node(
                     "lan-ldns",
@@ -343,7 +357,8 @@ impl Deployment {
                                 far_cdns,
                             )])),
                         ],
-                    ),
+                    )
+                    .with_telemetry(tel.clone()),
                 );
                 net.connect(pgw, node, link(dist::LAN_LDNS));
                 net.add_default_route(node, pgw);
@@ -359,6 +374,7 @@ impl Deployment {
                     dist::GOOGLE_TO_CDNS,
                     router_plugin(),
                     cfg,
+                    &tel,
                 )
             }
             DeploymentKind::CloudflareDns => {
@@ -371,6 +387,7 @@ impl Deployment {
                     dist::CLOUDFLARE_TO_CDNS,
                     router_plugin(),
                     cfg,
+                    &tel,
                 )
             }
         };
@@ -390,7 +407,9 @@ impl Deployment {
                 }),
             })
             .collect();
-        let ue = ran.attach_ue(&mut net, "ue", QueryClient::new(plan), 0, cfg.radio);
+        let mut query_client = QueryClient::new(plan);
+        query_client.engine_mut().set_telemetry(tel.clone());
+        let ue = ran.attach_ue(&mut net, "ue", query_client, 0, cfg.radio);
 
         Deployment {
             kind,
@@ -401,6 +420,7 @@ impl Deployment {
             expected_cache,
             catalog,
             last_tap: Vec::new(),
+            telemetry: tel,
         }
     }
 
@@ -421,12 +441,14 @@ fn build_far_cdns(
     pgw: NodeId,
     router: TrafficRouterPlugin,
     cfg: &TestbedConfig,
+    tel: &Telemetry,
 ) -> IpAddr {
     let addr: IpAddr = "192.0.2.30".parse().unwrap();
     let node = net.add_node(
         "cdns-cloud",
         [addr],
-        DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router)]),
+        DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router)])
+            .with_telemetry(tel.clone()),
     );
     net.connect(pgw, node, link(dist::FAR_CLOUD));
     net.add_default_route(node, pgw);
@@ -445,6 +467,7 @@ fn build_public_resolver(
     cdns_dist: (f64, f64),
     router: TrafficRouterPlugin,
     cfg: &TestbedConfig,
+    tel: &Telemetry,
 ) -> IpAddr {
     // The C-DNS, reachable from the resolver only (distances are from
     // the resolver's vantage point).
@@ -452,7 +475,8 @@ fn build_public_resolver(
     let cdns = net.add_node(
         &format!("{name}-cdns"),
         [cdns_addr],
-        DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router)]),
+        DnsServer::new(mec_dns_config(cfg.ecs), vec![Box::new(router)])
+            .with_telemetry(tel.clone()),
     );
     let resolver_ip: IpAddr = addr.parse().unwrap();
     let resolver = net.add_node(
@@ -467,7 +491,8 @@ fn build_public_resolver(
                     cdns_addr,
                 )])),
             ],
-        ),
+        )
+        .with_telemetry(tel.clone()),
     );
     net.connect(pgw, resolver, link(resolver_dist));
     net.connect(resolver, cdns, link(cdns_dist));

@@ -11,6 +11,7 @@ use crate::ecosystem::{Ecosystem, Role};
 use crate::fallback::P1Policy;
 use crate::measurement::{PlannedQuery, QueryClient};
 use crate::runner::Runner;
+use crate::telemetry::{TelemetryReport, TrialTelemetry};
 use cdn_sim::MultiCdnRouter;
 use dns_server::plugins::{AuthoritativePlugin, CachePlugin, ScopePlugin};
 use dns_server::{DnsServer, SendStrategy, ServerConfig, Zone};
@@ -325,15 +326,24 @@ pub fn fig5(cfg: &TestbedConfig) -> Figure {
 /// [`crate::derive_seed`] from `cfg.seed` and the deployment index,
 /// merged in deployment order.
 pub fn fig5_with(cfg: &TestbedConfig, runner: &Runner) -> Figure {
+    fig5_telemetry_with(cfg, runner).0
+}
+
+/// [`fig5_with`] plus the per-trial telemetry artifact, computed in the
+/// same single pass over the six deployment worlds. Trials run on
+/// derived seeds and merge in deployment order, so both the figure and
+/// the report are bit-identical at any thread count.
+pub fn fig5_telemetry_with(cfg: &TestbedConfig, runner: &Runner) -> (Figure, TelemetryReport) {
     let kinds = DeploymentKind::all();
-    let bars = runner.run_seeded(kinds.len(), cfg.seed, |idx, trial_seed| {
+    let trials = runner.run_seeded(kinds.len(), cfg.seed, |idx, trial_seed| {
         let kind = kinds[idx];
         let trial_cfg = TestbedConfig {
             seed: trial_seed,
             ..cfg.clone()
         };
         let mut d = Deployment::build(kind, &trial_cfg);
-        let (_, split) = d.run_measure();
+        let (measured, split) = d.run_measure();
+        let telemetry = TrialTelemetry::harvest(&d, trial_seed, &measured);
         let mut total = Samples::new();
         let mut wireless = Samples::new();
         for s in &split {
@@ -342,7 +352,7 @@ pub fn fig5_with(cfg: &TestbedConfig, runner: &Runner) -> Figure {
         }
         let t = total.summarize().expect("deployment produced samples");
         let w = wireless.summarize().expect("deployment produced samples");
-        StackedBar {
+        let bar = StackedBar {
             label: kind.label().to_string(),
             total_ms: t.trimmed_mean_ms,
             wireless_ms: w.trimmed_mean_ms,
@@ -350,8 +360,18 @@ pub fn fig5_with(cfg: &TestbedConfig, runner: &Runner) -> Figure {
             min_ms: t.min_ms,
             max_ms: t.max_ms,
             samples: t.samples,
-        }
+        };
+        (bar, telemetry)
     });
+    let mut bars = Vec::new();
+    let mut report = TelemetryReport {
+        seed: cfg.seed,
+        trials: Vec::new(),
+    };
+    for (bar, telemetry) in trials {
+        bars.push(bar);
+        report.trials.push(telemetry);
+    }
     let mut fig = Figure::new(
         "fig5",
         "DNS lookup latency on the LTE testbed for six resolver deployments",
@@ -373,7 +393,7 @@ pub fn fig5_with(cfg: &TestbedConfig, runner: &Runner) -> Figure {
         "gap_vs_lan_cdns_ms".to_string(),
         get("MEC L-DNS w/ LAN C-DNS") - mec,
     ));
-    fig
+    (fig, report)
 }
 
 /// §4's ECS experiment: ratio of mean lookup latency with ECS to

@@ -30,6 +30,9 @@
 //! * [`runner`] — the parallel trial runner the campaigns fan out on:
 //!   per-trial derived seeds and index-ordered merges keep results
 //!   bit-identical at any thread count.
+//! * [`telemetry`] — serializable per-trial artifacts harvested from the
+//!   shared `netsim::Telemetry` store: counters, histograms and the
+//!   trace-vs-tap wireless-split cross-check.
 
 pub mod deployments;
 pub mod dos;
@@ -39,9 +42,11 @@ pub mod fallback;
 pub mod ip_reuse;
 pub mod measurement;
 pub mod runner;
+pub mod telemetry;
 
 pub use deployments::{Deployment, DeploymentKind, TestbedConfig};
 pub use dos::{DosPolicy, ResolverDirective};
 pub use ecosystem::{Entity, Role};
 pub use measurement::{MeasuredQuery, QueryClient};
 pub use runner::{derive_seed, Runner};
+pub use telemetry::{TelemetryReport, TrialTelemetry};

@@ -163,6 +163,48 @@ pub fn split_wireless(tap: &[TapRecord], measured: &[MeasuredQuery]) -> Vec<Spli
     out
 }
 
+/// The trace-derived twin of [`split_wireless`]: the same per-query
+/// wireless/resolver decomposition, but computed from the P-GW's
+/// telemetry breadcrumbs (`pgw.uplink` / `pgw.downlink` marks dropped
+/// by `ran_sim::PgwNat`) instead of the packet tap.
+///
+/// The two are independent observation paths over the same virtual
+/// packets — the in-simulator analogue of the paper's `dig` vs
+/// `tcpdump` cross-check — so their results must agree; the end-to-end
+/// tests assert they do within a millisecond per query. The selection
+/// logic deliberately mirrors [`split_wireless`]: earliest uplink
+/// crossing and latest downlink crossing within the query's
+/// `[started, finished]` window.
+pub fn split_from_traces(
+    telemetry: &netsim::Telemetry,
+    measured: &[MeasuredQuery],
+) -> Vec<SplitLatency> {
+    let mut out = Vec::new();
+    for m in measured {
+        if m.outcome.timed_out {
+            continue;
+        }
+        let Some(id) = query_id_of(m) else { continue };
+        let Some(trace) = telemetry.trace(u64::from(id)) else {
+            continue;
+        };
+        let window = Some((m.started, m.finished));
+        let t1 = trace.first_at("pgw.uplink", window);
+        let t2 = trace.last_at("pgw.downlink", window);
+        let (Some(t1), Some(t2)) = (t1, t2) else {
+            continue;
+        };
+        let total = m.finished - m.started;
+        let wireless = (t1 - m.started) + (m.finished.since(t2));
+        out.push(SplitLatency {
+            total,
+            wireless,
+            resolver: total.saturating_sub(wireless),
+        });
+    }
+    out
+}
+
 /// The DNS transaction id the stub used for this query. The engine
 /// allocates ids sequentially starting at 1, in issue order; outcomes
 /// do not carry the id, so we recover it from the tag order. To keep

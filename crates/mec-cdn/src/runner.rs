@@ -109,7 +109,16 @@ impl Runner {
 
         let mut indexed = done.into_inner().unwrap();
         indexed.sort_by_key(|(i, _)| *i);
-        debug_assert_eq!(indexed.len(), trials);
+        // Hard assert, not debug_assert: a lost trial would silently
+        // truncate (and index-shift) results in release builds, which is
+        // exactly the build `repro` campaigns run under.
+        assert_eq!(
+            indexed.len(),
+            trials,
+            "runner lost trials: merged {} of {}",
+            indexed.len(),
+            trials
+        );
         indexed.into_iter().map(|(_, r)| r).collect()
     }
 
@@ -159,6 +168,21 @@ mod tests {
         let serial = Runner::new(1).run_seeded(40, 7, |i, s| (i, s));
         for threads in [2, 5, 16] {
             assert_eq!(Runner::new(threads).run_seeded(40, 7, |i, s| (i, s)), serial);
+        }
+    }
+
+    #[test]
+    fn every_trial_is_merged_exactly_once() {
+        // Regression guard for the completeness check: the merged vector
+        // must contain f(i) for *every* index exactly once, at every
+        // thread count (including workers > trials). A lost trial now
+        // panics even in release builds instead of silently truncating.
+        for threads in [1, 2, 4, 7, 32] {
+            for trials in [0, 1, 5, 19] {
+                let got = Runner::new(threads).run(trials, |i| i);
+                assert_eq!(got.len(), trials);
+                assert_eq!(got, (0..trials).collect::<Vec<_>>());
+            }
         }
     }
 

@@ -56,6 +56,7 @@ pub mod network;
 pub mod node;
 pub mod pcap;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -64,5 +65,6 @@ pub use dist::Latency;
 pub use network::{LinkId, LinkProfile, Network, NodeId};
 pub use node::{Datagram, ForwardAction, NodeBehavior, NodeContext, TimerToken};
 pub use stats::{LatencySummary, Samples};
+pub use telemetry::{Breadcrumb, MetricsRegistry, ResolutionTrace, Telemetry};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TapDirection, TapRecord};

@@ -1,7 +1,7 @@
 //! Measurement statistics matching the paper's methodology.
 //!
 //! Figure 2's caption: *"Each bar is based on at least 12 tests, only
-//! including the results from the 8th- to the 92th-percentile. The
+//! including the results from the 8th- to the 92nd-percentile. The
 //! maximum and minimum are marked with error lines."* [`Samples`]
 //! implements exactly that reduction, plus plain percentiles for other
 //! analyses.

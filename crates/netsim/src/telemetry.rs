@@ -1,0 +1,305 @@
+//! Query-path telemetry: counters, latency histograms and per-query
+//! resolution traces.
+//!
+//! The paper's Figure 5 methodology observes every lookup from two
+//! vantage points at once — `dig` at the UE and `tcpdump` at the P-GW —
+//! and derives the wireless/resolver split from their agreement. This
+//! module is the in-simulator analogue of that discipline: components
+//! along the query path (stub engines, DNS servers and their plugins,
+//! the P-GW NAT, the RAN) share one [`Telemetry`] handle and record
+//!
+//! * **counters** — monotonically increasing event counts keyed by
+//!   static names (`"dns.cache.hit"`, `"stub.retry"`, …);
+//! * **histograms** — collections of [`SimDuration`] observations keyed
+//!   the same way (`"stub.rtt"`, `"pgw.behind_gw"`);
+//! * **traces** — a span-like [`ResolutionTrace`] per DNS transaction
+//!   id: timestamped [`Breadcrumb`]s dropped at each hop, from which a
+//!   latency decomposition can be re-derived *independently* of the
+//!   packet tap and cross-checked against it.
+//!
+//! Everything is keyed by [`BTreeMap`], so iteration order — and any
+//! serialization built on it — is deterministic. The handle is an
+//! `Rc<RefCell<…>>`: a simulated world runs on one thread, and parallel
+//! experiment campaigns give every trial its own world (and therefore
+//! its own `Telemetry`), so no cross-thread state is ever shared.
+
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Counter and histogram store keyed by static metric names.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Vec<SimDuration>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increments `name` by `delta`.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Appends one duration observation to the `name` histogram.
+    pub fn observe(&mut self, name: &'static str, value: SimDuration) {
+        self.histograms.entry(name).or_default().push(value);
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Observations recorded under `name` (empty when never observed).
+    pub fn histogram(&self, name: &str) -> &[SimDuration] {
+        self.histograms.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All histograms, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &[SimDuration])> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Folds another registry into this one (counters add, histogram
+    /// observations append in `other`'s order).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in other.counters() {
+            self.add(name, value);
+        }
+        for (name, values) in other.histograms() {
+            self.histograms.entry(name).or_default().extend_from_slice(values);
+        }
+    }
+}
+
+/// One timestamped event on a query's path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breadcrumb {
+    /// Virtual time the event happened.
+    pub at: SimTime,
+    /// Where on the path (`"stub.issue"`, `"pgw.uplink"`, …).
+    pub point: &'static str,
+    /// Free-form context (upstream address, chosen cache, …).
+    pub detail: String,
+}
+
+/// The span-like record of one DNS transaction: every breadcrumb
+/// components dropped for its id, in recording order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolutionTrace {
+    /// The DNS transaction id the crumbs were recorded under.
+    pub id: u64,
+    /// Breadcrumbs in the order they were recorded (which, under a
+    /// deterministic simulator, is also timestamp order per point).
+    pub crumbs: Vec<Breadcrumb>,
+}
+
+impl ResolutionTrace {
+    /// A trace for `id` with no crumbs yet.
+    pub fn new(id: u64) -> Self {
+        ResolutionTrace { id, crumbs: Vec::new() }
+    }
+
+    /// Appends a breadcrumb.
+    pub fn mark(&mut self, at: SimTime, point: &'static str, detail: impl Into<String>) {
+        self.crumbs.push(Breadcrumb {
+            at,
+            point,
+            detail: detail.into(),
+        });
+    }
+
+    /// Timestamps of every crumb at `point`, optionally restricted to a
+    /// `[from, to]` window.
+    pub fn times_at<'a>(
+        &'a self,
+        point: &'a str,
+        window: Option<(SimTime, SimTime)>,
+    ) -> impl Iterator<Item = SimTime> + 'a {
+        self.crumbs
+            .iter()
+            .filter(move |c| c.point == point)
+            .map(|c| c.at)
+            .filter(move |&t| match window {
+                Some((from, to)) => t >= from && t <= to,
+                None => true,
+            })
+    }
+
+    /// Earliest crumb at `point` within the optional window.
+    pub fn first_at(&self, point: &str, window: Option<(SimTime, SimTime)>) -> Option<SimTime> {
+        self.times_at(point, window).min()
+    }
+
+    /// Latest crumb at `point` within the optional window.
+    pub fn last_at(&self, point: &str, window: Option<(SimTime, SimTime)>) -> Option<SimTime> {
+        self.times_at(point, window).max()
+    }
+}
+
+#[derive(Debug, Default)]
+struct TelemetryInner {
+    metrics: MetricsRegistry,
+    traces: BTreeMap<u64, ResolutionTrace>,
+}
+
+/// The shared telemetry handle components along one query path hold.
+///
+/// Cloning is cheap (reference-counted) and every clone records into the
+/// same registry and trace store. A default handle is a fresh, private
+/// store, so instrumented components work unchanged when nobody asked
+/// for telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Rc<RefCell<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// A fresh, empty telemetry store.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&self, name: &'static str) {
+        self.inner.borrow_mut().metrics.incr(name);
+    }
+
+    /// Increments counter `name` by `delta`.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        self.inner.borrow_mut().metrics.add(name, delta);
+    }
+
+    /// Records one duration observation under `name`.
+    pub fn observe(&self, name: &'static str, value: SimDuration) {
+        self.inner.borrow_mut().metrics.observe(name, value);
+    }
+
+    /// Current value of counter `name`.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().metrics.counter(name)
+    }
+
+    /// Drops a breadcrumb on the trace for transaction `id`.
+    pub fn mark(&self, id: u64, at: SimTime, point: &'static str, detail: impl Into<String>) {
+        self.inner
+            .borrow_mut()
+            .traces
+            .entry(id)
+            .or_insert_with(|| ResolutionTrace::new(id))
+            .mark(at, point, detail);
+    }
+
+    /// Runs `f` against the metrics registry (read-only harvest).
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> R {
+        f(&self.inner.borrow().metrics)
+    }
+
+    /// The trace recorded for transaction `id`, if any crumbs exist.
+    pub fn trace(&self, id: u64) -> Option<ResolutionTrace> {
+        self.inner.borrow().traces.get(&id).cloned()
+    }
+
+    /// Every recorded trace, in transaction-id order.
+    pub fn traces(&self) -> Vec<ResolutionTrace> {
+        self.inner.borrow().traces.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let t = Telemetry::new();
+        assert_eq!(t.counter("dns.cache.hit"), 0);
+        t.incr("dns.cache.hit");
+        t.add("dns.cache.hit", 2);
+        assert_eq!(t.counter("dns.cache.hit"), 3);
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let t = Telemetry::new();
+        let c = t.clone();
+        c.incr("x");
+        assert_eq!(t.counter("x"), 1);
+    }
+
+    #[test]
+    fn registry_iteration_is_name_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.incr("zebra");
+        m.incr("alpha");
+        m.incr("middle");
+        let names: Vec<&str> = m.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "middle", "zebra"]);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_appends_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.add("n", 2);
+        a.observe("h", SimDuration::from_millis(1));
+        let mut b = MetricsRegistry::new();
+        b.add("n", 3);
+        b.observe("h", SimDuration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 5);
+        assert_eq!(
+            a.histogram("h"),
+            &[SimDuration::from_millis(1), SimDuration::from_millis(2)]
+        );
+    }
+
+    #[test]
+    fn trace_marks_and_window_queries() {
+        let t = Telemetry::new();
+        t.mark(7, at(10), "pgw.uplink", "");
+        t.mark(7, at(30), "pgw.uplink", "retry");
+        t.mark(7, at(50), "pgw.downlink", "");
+        let trace = t.trace(7).unwrap();
+        assert_eq!(trace.id, 7);
+        assert_eq!(trace.crumbs.len(), 3);
+        assert_eq!(trace.first_at("pgw.uplink", None), Some(at(10)));
+        assert_eq!(trace.last_at("pgw.uplink", None), Some(at(30)));
+        assert_eq!(
+            trace.first_at("pgw.uplink", Some((at(20), at(60)))),
+            Some(at(30)),
+            "window must exclude the early crumb"
+        );
+        assert_eq!(trace.first_at("missing", None), None);
+        assert!(t.trace(8).is_none());
+    }
+
+    #[test]
+    fn traces_come_back_in_id_order() {
+        let t = Telemetry::new();
+        t.mark(9, at(1), "a", "");
+        t.mark(2, at(2), "a", "");
+        t.mark(5, at(3), "a", "");
+        let ids: Vec<u64> = t.traces().iter().map(|tr| tr.id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+}

@@ -2,7 +2,7 @@
 
 use netsim::{
     Cidr, Datagram, ForwardAction, Latency, LinkProfile, Network, NodeBehavior, NodeContext,
-    NodeId,
+    NodeId, SimTime, TapRecord, Telemetry,
 };
 use std::collections::HashMap;
 use std::net::IpAddr;
@@ -57,6 +57,10 @@ pub struct PgwNat {
     inbound: HashMap<u16, (IpAddr, u16)>,
     /// (ue addr, ue port, dst, dst port) → public port
     outbound: HashMap<(IpAddr, u16, IpAddr, u16), u16>,
+    telemetry: Telemetry,
+    /// First uplink DNS crossing per transaction id, for the
+    /// `pgw.behind_gw` histogram (time spent beyond the gateway).
+    first_uplink: HashMap<u64, SimTime>,
     /// Packets translated outbound.
     pub translated_out: u64,
     /// Packets translated inbound.
@@ -72,8 +76,43 @@ impl PgwNat {
             next_port: 20000,
             inbound: HashMap::new(),
             outbound: HashMap::new(),
+            telemetry: Telemetry::default(),
+            first_uplink: HashMap::new(),
             translated_out: 0,
             translated_in: 0,
+        }
+    }
+
+    /// Routes this gateway's DNS-crossing breadcrumbs into `t`.
+    ///
+    /// The marks mirror the packet tap exactly — `pgw.uplink` when a
+    /// DNS query (dst port 53) is forwarded out, `pgw.downlink` when a
+    /// DNS answer (src port 53) crosses back — and they carry the same
+    /// virtual timestamps the tap records, so a trace-derived
+    /// wireless/resolver split can be cross-checked against the
+    /// tap-derived one.
+    pub fn set_telemetry(&mut self, t: Telemetry) {
+        self.telemetry = t;
+    }
+
+    /// Drops DNS-crossing breadcrumbs for `dgram`, keyed by the DNS
+    /// transaction id in its payload (the tap's `id_hint`).
+    fn mark_dns_crossing(&mut self, now: SimTime, dgram: &Datagram) {
+        let Some(id) = TapRecord::hint_of(&dgram.payload) else {
+            return;
+        };
+        let id = u64::from(id);
+        if dgram.dst_port == 53 {
+            self.telemetry
+                .mark(id, now, "pgw.uplink", dgram.dst.to_string());
+            self.first_uplink.entry(id).or_insert(now);
+        }
+        if dgram.src_port == 53 {
+            self.telemetry
+                .mark(id, now, "pgw.downlink", dgram.src.to_string());
+            if let Some(&up) = self.first_uplink.get(&id) {
+                self.telemetry.observe("pgw.behind_gw", now.since(up));
+            }
         }
     }
 
@@ -91,7 +130,10 @@ impl PgwNat {
 
 impl NodeBehavior for PgwNat {
     /// Outbound translation happens on forwarded packets.
-    fn on_forward(&mut self, _ctx: &mut NodeContext<'_>, dgram: Datagram) -> ForwardAction {
+    fn on_forward(&mut self, ctx: &mut NodeContext<'_>, dgram: Datagram) -> ForwardAction {
+        // Breadcrumbs before translation, at the same instant the tap
+        // recorded this packet (taps fire just before this hook).
+        self.mark_dns_crossing(ctx.now(), &dgram);
         if self.ue_pool.contains(dgram.src) && !self.ue_pool.contains(dgram.dst) {
             let key = (dgram.src, dgram.src_port, dgram.dst, dgram.dst_port);
             let port = match self.outbound.get(&key) {
@@ -117,6 +159,7 @@ impl NodeBehavior for PgwNat {
     /// un-NATed and re-sent toward the UE.
     fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dgram: Datagram) {
         if dgram.dst == self.public_ip {
+            self.mark_dns_crossing(ctx.now(), &dgram);
             if let Some(&(ue, ue_port)) = self.inbound.get(&dgram.dst_port) {
                 self.translated_in += 1;
                 ctx.send_datagram(Datagram {

@@ -2,7 +2,7 @@
 
 use crate::epc::{Epc, EpcConfig};
 use crate::profiles::RadioProfile;
-use netsim::{Latency, LinkId, LinkProfile, Network, NodeBehavior, NodeId, SimDuration};
+use netsim::{Latency, LinkId, LinkProfile, Network, NodeBehavior, NodeId, SimDuration, Telemetry};
 use std::net::IpAddr;
 
 /// A UE's current attachment.
@@ -29,6 +29,7 @@ pub struct Ran {
     config: EpcConfig,
     enbs: Vec<NodeId>,
     next_ue: u64,
+    telemetry: Telemetry,
     /// Control-plane attach latency (RACH + RRC setup + NAS attach over
     /// the air): folded into a single delay before the bearer carries
     /// data. srsLTE/NextEPC attach takes on the order of 100 ms.
@@ -47,9 +48,15 @@ impl Ran {
             config,
             enbs: Vec::new(),
             next_ue: 0,
+            telemetry: Telemetry::default(),
             attach_delay: SimDuration::from_millis(100),
             handoff_interruption: SimDuration::from_millis(50),
         }
+    }
+
+    /// Routes attach/handoff metrics into `t`.
+    pub fn set_telemetry(&mut self, t: Telemetry) {
+        self.telemetry = t;
     }
 
     /// Adds an eNB connected to the S-GW over the configured backhaul.
@@ -101,6 +108,8 @@ impl Ran {
         net.schedule_call(self.attach_delay, move |n| {
             n.set_link_profile(radio_link, profile);
         });
+        self.telemetry.incr("ran.attach");
+        self.telemetry.observe("ran.attach_delay", self.attach_delay);
         UeAttachment {
             node,
             ip,
@@ -136,6 +145,9 @@ impl Ran {
             n.add_default_route(ue_node, new_enb);
             n.add_route(sgw, netsim::Cidr::host(ue_ip), new_enb);
         });
+        self.telemetry.incr("ran.handoff");
+        self.telemetry
+            .observe("ran.handoff_interruption", self.handoff_interruption);
         UeAttachment {
             node: att.node,
             ip: att.ip,

@@ -138,6 +138,68 @@ fn ue_resolves_and_streams_from_the_edge_cache() {
 }
 
 #[test]
+fn trace_split_agrees_with_tap_split_on_every_deployment() {
+    // The telemetry cross-check, end to end: the wireless/resolver
+    // decomposition derived from the P-GW's breadcrumb traces must
+    // match the one derived from the packet tap — two independent
+    // observation paths over the same virtual packets, the simulator's
+    // analogue of the paper validating `dig` timings against `tcpdump`.
+    let cfg = TestbedConfig {
+        queries: 12,
+        ..TestbedConfig::default()
+    };
+    for kind in DeploymentKind::all() {
+        let mut d = Deployment::build(kind, &cfg);
+        let (measured, tap_split) = d.run_measure();
+        let trace_split = mec_cdn::measurement::split_from_traces(&d.telemetry, &measured);
+        assert_eq!(
+            trace_split.len(),
+            tap_split.len(),
+            "{kind:?}: the two derivations must cover the same queries"
+        );
+        for (i, (t, p)) in trace_split.iter().zip(&tap_split).enumerate() {
+            let delta = (t.wireless.as_millis_f64() - p.wireless.as_millis_f64()).abs();
+            assert!(
+                delta <= 1.0,
+                "{kind:?} query {i}: trace wireless {:.3}ms vs tap wireless {:.3}ms (delta {delta:.3}ms)",
+                t.wireless.as_millis_f64(),
+                p.wireless.as_millis_f64()
+            );
+            assert_eq!(t.total, p.total, "{kind:?} query {i}: totals must be identical");
+        }
+    }
+}
+
+#[test]
+fn telemetry_counters_narrate_the_query_path() {
+    // The counter side of the tentpole: after a run, the shared store
+    // tells the deployment's story — UE queries issued, the L-DNS
+    // redirecting the CDN zone upstream, the C-DNS answering, and the
+    // P-GW seeing every crossing.
+    let cfg = TestbedConfig {
+        queries: 8,
+        ..TestbedConfig::default()
+    };
+    let mut d = Deployment::build(DeploymentKind::LanLdns, &cfg);
+    let (measured, _) = d.run_measure();
+    let answered = measured.iter().filter(|m| !m.outcome.timed_out).count() as u64;
+    let tel = &d.telemetry;
+    assert_eq!(tel.counter("stub.query"), 8, "one stub issue per dig");
+    assert_eq!(tel.counter("ran.attach"), 1, "exactly one UE attached");
+    // The LAN L-DNS runs a cache; with 35 s spacing over a 30 s TTL
+    // every query misses and rides the stub-domain redirect upstream.
+    assert_eq!(tel.counter("dns.cache.miss"), 8);
+    assert_eq!(tel.counter("dns.stub_domain.redirect"), 8);
+    assert_eq!(tel.counter("dns.upstream.query"), 8);
+    assert_eq!(tel.counter("cdns.answered"), answered);
+    assert_eq!(
+        tel.with_metrics(|m| m.histogram("stub.rtt").len()),
+        answered as usize,
+        "one rtt observation per answered query"
+    );
+}
+
+#[test]
 fn internal_vnf_names_never_leak_to_the_ue() {
     // The split-namespace guarantee over the real network path: a UE
     // querying an internal VNF name gets NXDOMAIN, while a pod inside
