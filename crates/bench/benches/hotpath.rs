@@ -1,0 +1,69 @@
+//! The zero-allocation resolution hot path: interner steady state, the
+//! cached-hit path, LRU churn (new vs the pre-interning reference), and
+//! one end-to-end resolve world. The `bench_hotpath` binary runs the
+//! same workloads (from `bench_suite::hotpath`) with a counting
+//! allocator and commits the result as `BENCH_hotpath.json`.
+
+use bench_suite::hotpath;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dns_wire::RrType;
+use netsim::{SimDuration, SimTime};
+
+fn bench_name_intern(c: &mut Criterion) {
+    let names = hotpath::name_pool(1000);
+    // First pass interns everything; the measured passes are pure id
+    // lookups on the cached per-Name id cell.
+    hotpath::intern_names(&names);
+    c.bench_function("name_intern", |b| {
+        b.iter(|| black_box(hotpath::intern_names(&names)))
+    });
+    c.bench_function("name_lookup_no_insert", |b| {
+        b.iter(|| black_box(hotpath::lookup_names(&names)))
+    });
+}
+
+fn bench_cache_churn(c: &mut Criterion) {
+    let names = hotpath::name_pool(1024);
+    let mut group = c.benchmark_group("cache_churn");
+    group.sample_size(20);
+    group.bench_function("new", |b| {
+        b.iter(|| black_box(hotpath::churn_new(&names, 512, 2)))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(hotpath::churn_naive(&names, 512, 2)))
+    });
+    group.finish();
+
+    // The gated path: warm cache, shared-record hit, no allocation.
+    let names = hotpath::name_pool(1000);
+    let mut warm = hotpath::warm_cache(&names, 2048);
+    let t = SimTime::ZERO + SimDuration::from_secs(10);
+    c.bench_function("cache_hit_shared", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % names.len();
+            black_box(warm.get_shared(&names[i], RrType::A, t))
+        })
+    });
+}
+
+fn bench_resolve_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolve_end_to_end");
+    group.sample_size(10);
+    group.bench_function("queries_200", |b| {
+        b.iter(|| {
+            let answered = hotpath::run_resolution(200);
+            assert_eq!(answered, 200);
+            black_box(answered)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_name_intern,
+    bench_cache_churn,
+    bench_resolve_end_to_end
+);
+criterion_main!(benches);

@@ -27,7 +27,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host CPUs: {cpus}   queries per deployment: {queries}");
-    println!("{:>8} {:>12} {:>10} {}", "threads", "wall/run", "vs 1thr", "checksum");
+    println!("{:>8} {:>12} {:>10} checksum", "threads", "wall/run", "vs 1thr");
 
     let mut serial_time = None;
     for threads in [1usize, 2, 4, 8] {

@@ -3,4 +3,8 @@
 //! The `repro` binary regenerates every table and figure; the Criterion
 //! benches under `benches/` time the codec, the resolver cache, the
 //! router selection strategies, and one full figure-regeneration run
-//! each for Figures 2 and 5.
+//! each for Figures 2 and 5. The `bench_hotpath` binary emits
+//! `BENCH_hotpath.json` — the committed zero-allocation / throughput
+//! baseline for the resolution hot path (see `hotpath`).
+
+pub mod hotpath;

@@ -16,7 +16,7 @@
 //! percentages map onto.
 
 use dns_server::{Plugin, PluginDecision, QueryCtx};
-use dns_wire::{Message, Name, RData, Rcode, Record, RrClass, RrType};
+use dns_wire::{Message, Name, NameId, RData, Rcode, Record, RrClass, RrType};
 use netsim::Cidr;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -79,12 +79,12 @@ impl WeightedState {
 
 /// The commercial C-DNS: per-(domain, resolver) weighted pool rotation.
 pub struct MultiCdnRouter {
-    /// (canonical domain, resolver addr) → weighted pools.
-    per_resolver: HashMap<(String, IpAddr), WeightedState>,
-    /// canonical domain → default pools (resolvers with no override).
-    defaults: HashMap<String, Vec<PoolChoice>>,
+    /// (interned domain, resolver addr) → weighted pools.
+    per_resolver: HashMap<(NameId, IpAddr), WeightedState>,
+    /// Interned domain → default pools (resolvers with no override).
+    defaults: HashMap<NameId, Vec<PoolChoice>>,
     /// Instantiated default states per (domain, resolver).
-    instantiated: HashMap<(String, IpAddr), WeightedState>,
+    instantiated: HashMap<(NameId, IpAddr), WeightedState>,
     /// Answer TTL. Commercial CDN A records are short-lived.
     pub ttl: u32,
     counter: u64,
@@ -107,18 +107,18 @@ impl MultiCdnRouter {
     pub fn set_policy(&mut self, domain: &Name, resolver: IpAddr, pools: Vec<PoolChoice>) {
         assert!(!pools.is_empty(), "policy needs at least one pool");
         self.per_resolver
-            .insert((domain.canonical(), resolver), WeightedState::new(pools));
+            .insert((domain.id(), resolver), WeightedState::new(pools));
     }
 
     /// Sets the default pools for `domain` (any other resolver).
     pub fn set_default(&mut self, domain: &Name, pools: Vec<PoolChoice>) {
         assert!(!pools.is_empty(), "policy needs at least one pool");
-        self.defaults.insert(domain.canonical(), pools);
+        self.defaults.insert(domain.id(), pools);
     }
 
     /// Classifies an answer address into its provider pool, if known.
     pub fn classify(&self, domain: &Name, addr: Ipv4Addr) -> Option<(&'static str, Cidr)> {
-        let key = domain.canonical();
+        let key = domain.id();
         let all = self
             .per_resolver
             .iter()
@@ -147,7 +147,11 @@ impl Plugin for MultiCdnRouter {
         let Some(q) = query.question() else {
             return PluginDecision::Continue;
         };
-        let key = (q.qname.canonical(), ctx.client);
+        // A name nobody configured was never interned: alloc-free reject.
+        let Some(qid) = q.qname.lookup_id() else {
+            return PluginDecision::Continue;
+        };
+        let key = (qid, ctx.client);
         // Single lookup: a specific per-resolver policy wins; otherwise
         // lazily instantiate the domain default for this resolver. The
         // picked choice is copied out so neither map borrow outlives the
@@ -180,7 +184,10 @@ impl Plugin for MultiCdnRouter {
         // Address within the pool: rotate deterministically so repeated
         // answers exercise several cache hosts per range.
         let mut h = DefaultHasher::new();
-        q.qname.canonical().hash(&mut h);
+        // Digest-identical to `canonical().hash(&h)` without building the
+        // string — the selected address (an experiment output) depends on
+        // this hash, so the stream must match byte for byte.
+        q.qname.hash_canonical(&mut h);
         self.counter.hash(&mut h);
         self.counter += 1;
         let addr = match pool.nth_host(h.finish() % 512) {

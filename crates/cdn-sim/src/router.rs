@@ -6,7 +6,7 @@ use dns_server::{Plugin, PluginDecision, QueryCtx};
 use dns_wire::{ClientSubnet, Message, Name, Opt, RData, Rcode, Record, RrClass, RrType};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hasher;
 use std::net::{IpAddr, Ipv4Addr};
 
 /// Cache-selection strategy.
@@ -98,33 +98,32 @@ impl TrafficRouterPlugin {
     fn select(&mut self, qname: &Name, client: IpAddr) -> Ipv4Addr {
         // Content affinity first: caches already holding objects of this
         // domain keep getting it (better hit rate, the P2 requirement).
-        let candidates: Vec<Ipv4Addr> = match &self.index {
+        let holding: Vec<Ipv4Addr> = match &self.index {
             Some(index) => {
                 let prefix = format!("{qname}/");
                 let holders = index.domain_holders(&prefix);
-                let holding: Vec<Ipv4Addr> = self
-                    .caches
+                self.caches
                     .iter()
                     .copied()
                     .filter(|c| holders.contains(&IpAddr::V4(*c)))
-                    .collect();
-                if holding.is_empty() {
-                    self.caches.clone()
-                } else {
-                    holding
-                }
+                    .collect()
             }
-            None => self.caches.clone(),
+            None => Vec::new(),
+        };
+        // Borrow the cache list in place — no clone per query when no
+        // content affinity applies (the common, index-less path).
+        let candidates: &[Ipv4Addr] = if holding.is_empty() {
+            &self.caches
+        } else {
+            &holding
         };
         let pick = match &self.selection {
-            Selection::RoundRobin => {
-                let i = (self.rr_counter as usize) % candidates.len();
-                self.rr_counter += 1;
-                candidates[i]
-            }
+            Selection::RoundRobin => candidates[(self.rr_counter as usize) % candidates.len()],
             Selection::ConsistentHash => {
                 let mut h = DefaultHasher::new();
-                qname.canonical().hash(&mut h);
+                // Digest-identical to hashing `canonical()` — the chosen
+                // cache is an experiment output.
+                qname.hash_canonical(&mut h);
                 candidates[(h.finish() as usize) % candidates.len()]
             }
             Selection::LeastAssigned => *candidates
@@ -133,17 +132,25 @@ impl TrafficRouterPlugin {
                 .unwrap(),
             Selection::Geo { db, cache_sites } => {
                 let site = db.locate(client);
-                let local: Vec<Ipv4Addr> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|c| cache_sites.get(&IpAddr::V4(*c)) == Some(&site))
-                    .collect();
-                let pool = if local.is_empty() { &candidates } else { &local };
+                let is_local = |c: &Ipv4Addr| cache_sites.get(&IpAddr::V4(*c)) == Some(&site);
+                let local_n = candidates.iter().copied().filter(|c| is_local(c)).count();
                 let mut h = DefaultHasher::new();
-                qname.canonical().hash(&mut h);
-                pool[(h.finish() as usize) % pool.len()]
+                qname.hash_canonical(&mut h);
+                if local_n == 0 {
+                    candidates[(h.finish() as usize) % candidates.len()]
+                } else {
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|c| is_local(c))
+                        .nth((h.finish() as usize) % local_n)
+                        .expect("index within filtered count")
+                }
             }
         };
+        if matches!(self.selection, Selection::RoundRobin) {
+            self.rr_counter += 1;
+        }
         *self.assigned.entry(pick).or_insert(0) += 1;
         pick
     }

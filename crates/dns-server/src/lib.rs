@@ -40,7 +40,7 @@ pub mod server;
 pub mod stub;
 pub mod zone;
 
-pub use cache::DnsCache;
+pub use cache::{CacheHit, DnsCache};
 pub use plugin::{Plugin, PluginDecision, QueryCtx};
 pub use server::{DnsServer, ServerConfig};
 pub use stub::{QueryOutcome, SendStrategy, StubEngine};

@@ -4,9 +4,10 @@
 use crate::cache::DnsCache;
 use crate::plugin::{Plugin, PluginDecision, QueryCtx};
 use crate::zone::{LookupResult, Zone};
-use dns_wire::{Message, Name, RData, Rcode, Record, RrClass, RrType};
+use dns_wire::{Message, Name, NameId, RData, Rcode, Record, RrClass, RrType};
 use mec_orch::{ServiceRegistry, Visibility};
 use netsim::Cidr;
+use std::collections::HashMap;
 use std::net::IpAddr;
 
 /// Serves one or more authoritative zones — the root, TLD and A-DNS
@@ -220,13 +221,21 @@ impl Plugin for KubernetesPlugin {
 /// configuration of L-DNS with the sub-domain and upstream server to
 /// ensure that L-DNS redirects queries for this CDN domain to C-DNS."*
 pub struct StubDomainPlugin {
-    stubs: Vec<(Name, IpAddr)>,
+    /// Interned stub zone → upstream. Matching walks the query name's
+    /// parent chain in id space instead of scanning every stub with a
+    /// string-comparing `is_subdomain_of`.
+    stubs: HashMap<NameId, IpAddr>,
 }
 
 impl StubDomainPlugin {
     /// Creates the plugin from (zone, upstream) pairs.
     pub fn new(stubs: Vec<(Name, IpAddr)>) -> Self {
-        StubDomainPlugin { stubs }
+        let mut map = HashMap::new();
+        for (zone, upstream) in stubs {
+            // Later duplicates win, matching the old `max_by_key` scan.
+            map.insert(zone.id(), upstream);
+        }
+        StubDomainPlugin { stubs: map }
     }
 }
 
@@ -239,14 +248,19 @@ impl Plugin for StubDomainPlugin {
         let Some(q) = query.question() else {
             return PluginDecision::Continue;
         };
-        // Most specific stub wins.
-        let best = self
-            .stubs
-            .iter()
-            .filter(|(zone, _)| q.qname.is_subdomain_of(zone))
-            .max_by_key(|(zone, _)| zone.label_count());
+        // Most specific stub wins: the first hit walking from the query
+        // name toward the root.
+        let mut best = None;
+        let mut cur = Some(q.qname.id());
+        while let Some(id) = cur {
+            if let Some(&upstream) = self.stubs.get(&id) {
+                best = Some(upstream);
+                break;
+            }
+            cur = id.parent();
+        }
         match best {
-            Some(&(_, upstream)) => {
+            Some(upstream) => {
                 ctx.telemetry.incr("dns.stub_domain.redirect");
                 ctx.telemetry.mark(
                     u64::from(query.header.id),

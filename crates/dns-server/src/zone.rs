@@ -1,6 +1,6 @@
 //! Authoritative zone data and lookup semantics.
 
-use dns_wire::{Name, RData, Record, RrClass, RrType};
+use dns_wire::{Name, NameId, RData, Record, RrClass, RrType};
 use std::collections::HashMap;
 
 /// The result of an authoritative lookup.
@@ -33,13 +33,17 @@ pub enum LookupResult {
 #[derive(Debug, Clone)]
 pub struct Zone {
     apex: Name,
-    records: HashMap<Name, Vec<Record>>,
+    apex_id: NameId,
+    /// Owner names are interned: the store is keyed and walked by
+    /// [`NameId`], so lookups never build `canonical()` strings.
+    records: HashMap<NameId, Vec<Record>>,
 }
 
 impl Zone {
     /// An empty zone rooted at `apex`.
     pub fn new(apex: Name) -> Self {
         Zone {
+            apex_id: apex.id(),
             apex,
             records: HashMap::new(),
         }
@@ -63,7 +67,7 @@ impl Zone {
             self.apex
         );
         self.records
-            .entry(record.name.clone())
+            .entry(record.name.id())
             .or_default()
             .push(record);
         self
@@ -127,7 +131,7 @@ impl Zone {
         // Glue may live outside the zone cut; store it regardless (it is
         // served in the additional section of referrals only).
         self.records
-            .entry(ns_name.clone())
+            .entry(ns_name.id())
             .or_default()
             .push(Record::new(ns_name, RrClass::In, ttl, RData::A(ns_addr)));
         self
@@ -145,37 +149,44 @@ impl Zone {
 
     /// Looks up `qname`/`qtype`.
     pub fn lookup(&self, qname: &Name, qtype: RrType) -> LookupResult {
-        if !qname.is_subdomain_of(&self.apex) {
+        let qid = qname.id();
+        if !qid.is_subdomain_of(self.apex_id) {
             return LookupResult::NotAuthoritative;
         }
         // Delegation check: walk from the apex child toward qname; the
         // first NS cut strictly between apex and qname wins (unless the
-        // query is for the cut's NS records themselves at the apex).
-        let mut cut = qname.clone();
-        let mut cuts = Vec::new();
-        while cut != self.apex && !cut.is_root() {
-            cuts.push(cut.clone());
+        // query is for the cut's NS records themselves at the apex). The
+        // walk happens in id space: the suffix chain is a stack array of
+        // `u32`s, not a Vec of cloned `Name`s.
+        let mut cuts = [NameId::ROOT; dns_wire::name::MAX_LABELS];
+        let mut ncuts = 0;
+        let mut cut = qid;
+        while cut != self.apex_id && cut != NameId::ROOT {
+            cuts[ncuts] = cut;
+            ncuts += 1;
             match cut.parent() {
                 Some(p) => cut = p,
                 None => break,
             }
         }
-        for candidate in cuts.iter().rev() {
+        for &candidate in cuts[..ncuts].iter().rev() {
             // apex-side first
-            if candidate == qname && qtype == RrType::Ns {
+            if candidate == qid && qtype == RrType::Ns {
                 break; // asking for the delegation itself: answer below
             }
-            if let Some(recs) = self.records.get(candidate) {
+            if let Some(recs) = self.records.get(&candidate) {
                 let ns: Vec<Record> = recs
                     .iter()
                     .filter(|r| r.rrtype() == RrType::Ns)
                     .cloned()
                     .collect();
-                if !ns.is_empty() && candidate != &self.apex {
+                if !ns.is_empty() && candidate != self.apex_id {
                     let mut glue = Vec::new();
                     for n in &ns {
                         if let RData::Ns(target) = &n.rdata {
-                            if let Some(g) = self.records.get(target) {
+                            if let Some(g) =
+                                target.lookup_id().and_then(|t| self.records.get(&t))
+                            {
                                 glue.extend(
                                     g.iter().filter(|r| r.rrtype() == RrType::A).cloned(),
                                 );
@@ -188,7 +199,7 @@ impl Zone {
         }
         // Exact-name lookup with in-zone CNAME chasing.
         let mut answers: Vec<Record> = Vec::new();
-        let mut current = qname.clone();
+        let mut current = qid;
         for _ in 0..8 {
             match self.records.get(&current) {
                 Some(recs) => {
@@ -207,8 +218,13 @@ impl Zone {
                             answers.push(c.clone());
                             if let RData::Cname(target) = &c.rdata {
                                 if target.is_subdomain_of(&self.apex) {
-                                    current = target.clone();
-                                    continue;
+                                    if let Some(t) = target.lookup_id() {
+                                        current = t;
+                                        continue;
+                                    }
+                                    // In-zone target nobody ever stored:
+                                    // surface the chain collected so far.
+                                    return LookupResult::Answer(answers);
                                 }
                             }
                             // Chain leaves the zone: surface what we have.
@@ -225,7 +241,7 @@ impl Zone {
                 }
                 None => {
                     return if answers.is_empty() {
-                        if self.name_exists(&current) {
+                        if self.name_exists(current) {
                             LookupResult::NoData
                         } else {
                             LookupResult::NxDomain
@@ -242,8 +258,8 @@ impl Zone {
 
     /// "Empty non-terminal" check: a name exists if any record owner is
     /// at or below it.
-    fn name_exists(&self, name: &Name) -> bool {
-        self.records.keys().any(|n| n.is_subdomain_of(name))
+    fn name_exists(&self, name: NameId) -> bool {
+        self.records.keys().any(|&n| n.is_subdomain_of(name))
     }
 }
 

@@ -1,0 +1,311 @@
+//! Hash-consed, case-folded name interning.
+//!
+//! [`NameId`] is a process-global, case-insensitive identity for a
+//! [`Name`]: two names with equal canonical form always intern to the
+//! same id, so the hot resolution path (cache keys, zone walks, stub
+//! matching, wire-compression maps) can compare, hash and suffix-match
+//! names as `u32`s without allocating `canonical()` strings. Interning a
+//! name eagerly interns its whole parent chain, which makes suffix ids
+//! and [`NameId::parent`] table reads and [`NameId::is_subdomain_of`] a
+//! short parent walk — the same trick production resolvers (Unbound,
+//! BIND) use for their name trees.
+//!
+//! Identity follows `Name::canonical()` byte equality exactly — the key
+//! scheme the caches used before interning existed — so a lookup of a
+//! never-interned name ([`NameId::lookup`]) costs one deterministic FNV
+//! pass over the borrowed labels plus a bucket probe: no allocation, no
+//! table growth.
+
+use crate::name::Name;
+use std::collections::HashMap;
+use std::sync::{LazyLock, RwLock};
+
+/// Interned identity of a canonical (case-folded) domain name.
+///
+/// Ids are process-local and stable for the life of the process; they
+/// must never be persisted or compared across processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(u32);
+
+/// Sentinel parent of the root entry.
+const NO_PARENT: u32 = u32::MAX;
+
+struct Entry {
+    /// Canonical presentation bytes: lowercased labels, each followed by
+    /// a dot. Empty for the root.
+    canon: Box<[u8]>,
+    parent: u32,
+    label_count: u16,
+}
+
+struct Tables {
+    /// Deterministic FNV-1a over `canon` → candidate ids (collision chain).
+    buckets: HashMap<u64, Vec<u32>>,
+    entries: Vec<Entry>,
+}
+
+static TABLE: LazyLock<RwLock<Tables>> = LazyLock::new(|| {
+    let mut buckets = HashMap::new();
+    buckets.insert(FNV_OFFSET, vec![0]);
+    RwLock::new(Tables {
+        buckets,
+        entries: vec![Entry {
+            canon: Box::new([]),
+            parent: NO_PARENT,
+            label_count: 0,
+        }],
+    })
+});
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the canonical bytes of a label slice, computed without
+/// materialising them. A hand-rolled deterministic hash (rather than the
+/// std `RandomState`) lets the bucket map be probed from borrowed labels.
+fn fnv_labels(labels: &[Vec<u8>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for l in labels {
+        for &b in l {
+            h = (h ^ u64::from(b.to_ascii_lowercase())).wrapping_mul(FNV_PRIME);
+        }
+        h = (h ^ u64::from(b'.')).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// True when `canon` equals the canonical bytes of `labels`.
+fn canon_matches(canon: &[u8], labels: &[Vec<u8>]) -> bool {
+    let mut pos = 0;
+    for l in labels {
+        let end = pos + l.len();
+        if end >= canon.len()
+            || !canon[pos..end]
+                .iter()
+                .zip(l.iter())
+                .all(|(&c, &b)| c == b.to_ascii_lowercase())
+            || canon[end] != b'.'
+        {
+            return false;
+        }
+        pos = end + 1;
+    }
+    pos == canon.len()
+}
+
+impl Tables {
+    fn find(&self, hash: u64, labels: &[Vec<u8>]) -> Option<NameId> {
+        self.buckets
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| canon_matches(&self.entries[id as usize].canon, labels))
+            .map(NameId)
+    }
+
+    fn intern_labels(&mut self, labels: &[Vec<u8>]) -> NameId {
+        // Walk suffixes shortest-first so each new entry's parent exists
+        // before the entry itself; suffix ids thus form the parent chain.
+        let n = labels.len();
+        let mut parent = 0u32; // root
+        for k in (0..n).rev() {
+            let suffix = &labels[k..];
+            let h = fnv_labels(suffix);
+            match self.find(h, suffix) {
+                Some(id) => parent = id.0,
+                None => {
+                    let mut canon =
+                        Vec::with_capacity(suffix.iter().map(|l| l.len() + 1).sum());
+                    for l in suffix {
+                        canon.extend(l.iter().map(|b| b.to_ascii_lowercase()));
+                        canon.push(b'.');
+                    }
+                    let id = u32::try_from(self.entries.len()).expect("name table overflow");
+                    self.entries.push(Entry {
+                        canon: canon.into_boxed_slice(),
+                        parent,
+                        label_count: (n - k) as u16,
+                    });
+                    self.buckets.entry(h).or_default().push(id);
+                    parent = id;
+                }
+            }
+        }
+        NameId(parent)
+    }
+}
+
+impl NameId {
+    /// The root name's id.
+    pub const ROOT: NameId = NameId(0);
+
+    /// Interns `name` (and its whole parent chain), returning its id.
+    pub fn intern(name: &Name) -> NameId {
+        let labels = name.label_slices();
+        let h = fnv_labels(labels);
+        if let Some(id) = TABLE.read().unwrap().find(h, labels) {
+            return id;
+        }
+        TABLE.write().unwrap().intern_labels(labels)
+    }
+
+    /// The id of `name` if it has ever been interned — the allocation-free
+    /// probe used on cache-miss paths, where growing the table for a name
+    /// nobody has stored would be wasted work.
+    pub fn lookup(name: &Name) -> Option<NameId> {
+        let labels = name.label_slices();
+        TABLE.read().unwrap().find(fnv_labels(labels), labels)
+    }
+
+    /// The parent name's id (one label removed), or `None` at the root.
+    pub fn parent(self) -> Option<NameId> {
+        let t = TABLE.read().unwrap();
+        match t.entries[self.0 as usize].parent {
+            NO_PARENT => None,
+            p => Some(NameId(p)),
+        }
+    }
+
+    /// Number of labels in the interned name (the root has zero).
+    pub fn label_count(self) -> usize {
+        TABLE.read().unwrap().entries[self.0 as usize].label_count as usize
+    }
+
+    /// True if `self` equals `ancestor` or sits below it in the tree —
+    /// id-space equivalent of [`Name::is_subdomain_of`], performed as a
+    /// parent-chain walk with no allocation.
+    pub fn is_subdomain_of(self, ancestor: NameId) -> bool {
+        if ancestor == NameId::ROOT {
+            return true;
+        }
+        let t = TABLE.read().unwrap();
+        let target = t.entries[ancestor.0 as usize].label_count;
+        let mut cur = self.0;
+        loop {
+            let e = &t.entries[cur as usize];
+            if e.label_count < target {
+                return false;
+            }
+            if e.label_count == target {
+                return cur == ancestor.0;
+            }
+            cur = e.parent;
+        }
+    }
+
+    /// Canonical presentation of the interned name (allocates; debugging
+    /// and display only — never on the hot path).
+    pub fn canonical(self) -> String {
+        let t = TABLE.read().unwrap();
+        let canon = &t.entries[self.0 as usize].canon;
+        if canon.is_empty() {
+            ".".to_string()
+        } else {
+            String::from_utf8_lossy(canon).into_owned()
+        }
+    }
+}
+
+/// Interns `name` and writes the ids of all its suffixes into `out`:
+/// `out[k]` is the id of the name with the first `k` labels removed, so
+/// `out[0]` is the full name. Returns the label count. Used by the wire
+/// encoder to key its compression map without building suffix strings.
+///
+/// # Panics
+/// Panics if `out` is shorter than `name.label_count()`.
+pub fn suffix_chain(name: &Name, out: &mut [NameId]) -> usize {
+    let n = name.label_count();
+    assert!(n <= out.len(), "suffix_chain buffer too small");
+    let id = NameId::intern(name);
+    let t = TABLE.read().unwrap();
+    let mut cur = id.0;
+    for slot in out.iter_mut().take(n) {
+        *slot = NameId(cur);
+        cur = t.entries[cur as usize].parent;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn same_canonical_form_same_id() {
+        let a = NameId::intern(&n("Video.Demo1.MyCdn.ciab.test"));
+        let b = NameId::intern(&n("video.demo1.mycdn.ciab.test."));
+        assert_eq!(a, b);
+        assert_ne!(a, NameId::intern(&n("video.demo2.mycdn.ciab.test")));
+    }
+
+    #[test]
+    fn root_is_fixed() {
+        assert_eq!(NameId::intern(&Name::root()), NameId::ROOT);
+        assert_eq!(NameId::ROOT.label_count(), 0);
+        assert_eq!(NameId::ROOT.parent(), None);
+        assert_eq!(NameId::ROOT.canonical(), ".");
+    }
+
+    #[test]
+    fn parent_chain_matches_name_parents() {
+        let name = n("a.b.c.example");
+        let id = NameId::intern(&name);
+        assert_eq!(id.parent(), Some(NameId::intern(&name.parent().unwrap())));
+        let mut cur = Some(id);
+        let mut hops = 0;
+        while let Some(c) = cur {
+            cur = c.parent();
+            hops += 1;
+        }
+        assert_eq!(hops, name.label_count() + 1, "chain ends at the root");
+    }
+
+    #[test]
+    fn subdomain_matches_name_semantics() {
+        let zone = n("mycdn.ciab.test");
+        let host = n("video.demo1.MYCDN.ciab.test");
+        let other = n("video.demo1.othercdn.ciab.test");
+        let (zi, hi, oi) = (
+            NameId::intern(&zone),
+            NameId::intern(&host),
+            NameId::intern(&other),
+        );
+        assert!(hi.is_subdomain_of(zi));
+        assert!(zi.is_subdomain_of(zi));
+        assert!(!zi.is_subdomain_of(hi));
+        assert!(!oi.is_subdomain_of(zi));
+        assert!(hi.is_subdomain_of(NameId::ROOT));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let fresh = n("never-stored-l00kup-probe.invalid");
+        assert_eq!(NameId::lookup(&fresh), None);
+        let id = NameId::intern(&fresh);
+        assert_eq!(NameId::lookup(&fresh), Some(id));
+        // Suffixes were interned along the way.
+        assert!(NameId::lookup(&n("invalid")).is_some());
+    }
+
+    #[test]
+    fn suffix_chain_is_the_parent_chain() {
+        let name = n("www.example.com");
+        let mut chain = [NameId::ROOT; 8];
+        let len = suffix_chain(&name, &mut chain);
+        assert_eq!(len, 3);
+        assert_eq!(chain[0], NameId::intern(&name));
+        assert_eq!(chain[1], NameId::intern(&n("example.com")));
+        assert_eq!(chain[2], NameId::intern(&n("com")));
+        assert_eq!(chain[0].parent(), Some(chain[1]));
+    }
+
+    #[test]
+    fn canonical_roundtrip() {
+        let name = n("CDN0.Agoda.NET");
+        assert_eq!(NameId::intern(&name).canonical(), name.canonical());
+    }
+}

@@ -1,6 +1,7 @@
 //! Domain names: parsing, comparison and wire encoding with compression.
 
 use crate::error::WireError;
+use crate::intern::{self, NameId};
 use crate::wire::{Reader, Writer};
 use std::fmt;
 
@@ -8,6 +9,10 @@ use std::fmt;
 pub const MAX_LABEL_LEN: usize = 63;
 /// Maximum length of a whole encoded name in octets (RFC 1035 §2.3.4).
 pub const MAX_NAME_LEN: usize = 255;
+/// Maximum number of labels a valid name can carry: each label costs at
+/// least two octets (length + one byte) and the root octet closes the
+/// name, so ⌊(255 − 1) / 2⌋.
+pub const MAX_LABELS: usize = (MAX_NAME_LEN - 1) / 2;
 /// Maximum number of compression pointers the decoder will follow. Any
 /// legitimate name fits in far fewer; the cap defeats pointer loops.
 const MAX_POINTER_HOPS: usize = 32;
@@ -91,6 +96,23 @@ impl Name {
         self.labels.iter().map(|l| l.as_slice())
     }
 
+    /// Raw label storage, for the interner.
+    pub(crate) fn label_slices(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    /// Interns this name (and its parent chain), returning its
+    /// process-global case-folded id.
+    pub fn id(&self) -> NameId {
+        NameId::intern(self)
+    }
+
+    /// The interned id of this name if it has ever been interned; never
+    /// allocates or grows the intern table.
+    pub fn lookup_id(&self) -> Option<NameId> {
+        NameId::lookup(self)
+    }
+
     /// Length of the uncompressed wire encoding, including the root octet.
     pub fn encoded_len(&self) -> usize {
         self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
@@ -149,23 +171,40 @@ impl Name {
         s
     }
 
+    /// Streams the canonical presentation bytes into a hasher exactly as
+    /// `self.canonical().hash(state)` would — the lowercased dotted form
+    /// (a lone dot for the root) followed by the `0xff` terminator the
+    /// std `str` hash appends — without building the string. Digest
+    /// equality with the string path holds for byte-streaming hashers
+    /// such as `DefaultHasher`; the selection logic in `cdn-sim` depends
+    /// on it for output-identical address rotation.
+    pub fn hash_canonical<H: std::hash::Hasher>(&self, state: &mut H) {
+        if self.labels.is_empty() {
+            state.write_u8(b'.');
+        } else {
+            for l in &self.labels {
+                for &b in l {
+                    state.write_u8(b.to_ascii_lowercase());
+                }
+                state.write_u8(b'.');
+            }
+        }
+        state.write_u8(0xff);
+    }
+
     /// Encodes the name, emitting a compression pointer for the longest
-    /// suffix the writer has already seen.
+    /// suffix the writer has already seen. Compression state is keyed by
+    /// interned [`NameId`]s, so no suffix strings are built.
     pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
+        let mut chain = [NameId::ROOT; MAX_LABELS];
+        let n = intern::suffix_chain(self, &mut chain);
         // Walk suffixes from the full name downward; at the first suffix
         // already present in the writer, emit a pointer and stop.
-        for skip in 0..self.labels.len() {
-            let suffix = Name {
-                labels: self.labels[skip..].to_vec(),
-            };
-            let key = suffix.canonical();
-            if let Some(off) = w.lookup_suffix(&key) {
+        for skip in 0..n {
+            if let Some(off) = w.lookup_suffix(chain[skip]) {
                 // Emit the labels before the matched suffix, then a pointer.
                 for (i, label) in self.labels[..skip].iter().enumerate() {
-                    let here = Name {
-                        labels: self.labels[i..].to_vec(),
-                    };
-                    w.record_suffix(here.canonical(), w.len());
+                    w.record_suffix(chain[i], w.len());
                     w.write_u8(label.len() as u8);
                     w.write_bytes(label);
                 }
@@ -175,10 +214,7 @@ impl Name {
         }
         // No suffix matched: emit every label then the root octet.
         for (i, label) in self.labels.iter().enumerate() {
-            let here = Name {
-                labels: self.labels[i..].to_vec(),
-            };
-            w.record_suffix(here.canonical(), w.len());
+            w.record_suffix(chain[i], w.len());
             w.write_u8(label.len() as u8);
             w.write_bytes(label);
         }
@@ -283,9 +319,14 @@ impl Ord for Name {
                 (None, Some(_)) => return std::cmp::Ordering::Less,
                 (Some(_), None) => return std::cmp::Ordering::Greater,
                 (Some(x), Some(y)) => {
-                    let lx: Vec<u8> = x.iter().map(|c| c.to_ascii_lowercase()).collect();
-                    let ly: Vec<u8> = y.iter().map(|c| c.to_ascii_lowercase()).collect();
-                    match lx.cmp(&ly) {
+                    // Case-folded lexicographic label compare, in place.
+                    let ord = x
+                        .iter()
+                        .zip(y.iter())
+                        .map(|(a, b)| a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()))
+                        .find(|o| o.is_ne())
+                        .unwrap_or_else(|| x.len().cmp(&y.len()));
+                    match ord {
                         std::cmp::Ordering::Equal => continue,
                         ord => return ord,
                     }
@@ -497,5 +538,41 @@ mod tests {
     fn canonical_lowercases_and_ends_with_dot() {
         assert_eq!(Name::parse("A.B").unwrap().canonical(), "a.b.");
         assert_eq!(Name::root().canonical(), ".");
+    }
+
+    #[test]
+    fn hash_canonical_matches_string_hash_digest() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        for s in [
+            "",
+            "com",
+            "Video.Demo1.MyCdn.ciab.test",
+            "q-cf.bstatic.com",
+            "A0.MUSCACHE.COM",
+        ] {
+            let name = Name::parse(s).unwrap();
+            let mut via_string = DefaultHasher::new();
+            name.canonical().hash(&mut via_string);
+            let mut streamed = DefaultHasher::new();
+            name.hash_canonical(&mut streamed);
+            assert_eq!(
+                via_string.finish(),
+                streamed.finish(),
+                "digest mismatch for {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_matches_lowercased_byte_compare() {
+        // Same right-to-left order the allocating comparison produced.
+        let a = Name::parse("AB.x").unwrap();
+        let b = Name::parse("ab.x").unwrap();
+        let c = Name::parse("abc.x").unwrap();
+        let d = Name::parse("ac.x").unwrap();
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(b.cmp(&c), std::cmp::Ordering::Less);
+        assert_eq!(c.cmp(&d), std::cmp::Ordering::Less);
     }
 }

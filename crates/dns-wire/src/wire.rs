@@ -6,6 +6,7 @@
 //! written so later names can emit compression pointers.
 
 use crate::error::WireError;
+use crate::intern::NameId;
 use std::collections::HashMap;
 
 /// Maximum encoded message size (16-bit length fields everywhere).
@@ -92,8 +93,10 @@ impl<'a> Reader<'a> {
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
-    /// Lowercased suffix presentation → offset of its first label.
-    names: HashMap<String, u16>,
+    /// Interned suffix id → offset of its first label. Ids are
+    /// case-folded, so the map preserves the case-insensitive matching
+    /// the old string keys provided — without allocating them.
+    names: HashMap<NameId, u16>,
 }
 
 impl Writer {
@@ -149,13 +152,13 @@ impl Writer {
     }
 
     /// Looks up a previously written name suffix.
-    pub(crate) fn lookup_suffix(&self, key: &str) -> Option<u16> {
-        self.names.get(key).copied()
+    pub(crate) fn lookup_suffix(&self, key: NameId) -> Option<u16> {
+        self.names.get(&key).copied()
     }
 
     /// Records that the suffix `key` starts at `offset`. Offsets beyond the
     /// 14-bit pointer range are not recorded (pointers cannot reach them).
-    pub(crate) fn record_suffix(&mut self, key: String, offset: usize) {
+    pub(crate) fn record_suffix(&mut self, key: NameId, offset: usize) {
         if offset <= 0x3FFF {
             self.names.entry(key).or_insert(offset as u16);
         }
@@ -213,10 +216,11 @@ mod tests {
 
     #[test]
     fn suffix_offsets_beyond_pointer_range_are_ignored() {
+        let key = crate::Name::parse("a.example").unwrap().id();
         let mut w = Writer::new();
-        w.record_suffix("a.example.".into(), 0x4000);
-        assert_eq!(w.lookup_suffix("a.example."), None);
-        w.record_suffix("a.example.".into(), 0x3FFF);
-        assert_eq!(w.lookup_suffix("a.example."), Some(0x3FFF));
+        w.record_suffix(key, 0x4000);
+        assert_eq!(w.lookup_suffix(key), None);
+        w.record_suffix(key, 0x3FFF);
+        assert_eq!(w.lookup_suffix(key), Some(0x3FFF));
     }
 }

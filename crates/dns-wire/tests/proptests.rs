@@ -237,3 +237,90 @@ proptest! {
         let _ = line.parse::<Record>();
     }
 }
+
+/// Mixed-case names over a small pool of shared suffixes — the shape the
+/// interner must get right: distinct names colliding on suffixes, equal
+/// names differing only in case.
+fn arb_shared_suffix_name() -> impl Strategy<Value = Name> {
+    (
+        0u8..4,
+        proptest::collection::vec(arb_label(), 0..3),
+        any::<u64>(),
+    )
+        .prop_map(|(s, prefix, mask)| {
+            const SUFFIXES: [&str; 4] =
+                ["example.com", "mycdn.ciab.test", "cdn.example.com", "test"];
+            let mut full = prefix.join(".");
+            if !full.is_empty() {
+                full.push('.');
+            }
+            full.push_str(SUFFIXES[s as usize]);
+            let flipped: String = full
+                .chars()
+                .enumerate()
+                .map(|(i, c)| {
+                    if (mask >> (i % 64)) & 1 == 1 {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c.to_ascii_lowercase()
+                    }
+                })
+                .collect();
+            Name::parse(&flipped).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // NameId interning must be semantically identical to the old
+    // `canonical()`-String keying: id equality == canonical equality,
+    // and id-space suffix matching == `Name::is_subdomain_of`.
+    #[test]
+    fn interning_matches_string_keying(
+        names in proptest::collection::vec(arb_shared_suffix_name(), 2..10),
+    ) {
+        for a in &names {
+            for b in &names {
+                let same = a.canonical() == b.canonical();
+                prop_assert_eq!(
+                    a.id() == b.id(), same,
+                    "id vs canonical equality diverged for {a} / {b}"
+                );
+                prop_assert_eq!(
+                    a.id().is_subdomain_of(b.id()), a.is_subdomain_of(b),
+                    "subdomain semantics diverged for {a} under {b}"
+                );
+            }
+        }
+    }
+
+    // A map keyed by (NameId, qtype) must hit and miss exactly like one
+    // keyed by (canonical String, qtype) under a random insert/get
+    // schedule — the cache's key-scheme equivalence, without the cache.
+    #[test]
+    fn cache_key_schemes_hit_and_miss_identically(
+        names in proptest::collection::vec(arb_shared_suffix_name(), 1..8),
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..64),
+    ) {
+        use dns_wire::NameId;
+        use std::collections::HashMap;
+        let mut by_string: HashMap<(String, u16), u32> = HashMap::new();
+        let mut by_id: HashMap<(NameId, u16), u32> = HashMap::new();
+        for (i, &(sel, op)) in ops.iter().enumerate() {
+            let name = &names[sel as usize % names.len()];
+            let qtype = if op & 1 == 0 { 1u16 } else { 28 };
+            if op & 2 == 0 {
+                by_string.insert((name.canonical(), qtype), i as u32);
+                by_id.insert((name.id(), qtype), i as u32);
+            } else {
+                let s = by_string.get(&(name.canonical(), qtype)).copied();
+                let d = name
+                    .lookup_id()
+                    .and_then(|id| by_id.get(&(id, qtype)).copied());
+                prop_assert_eq!(s, d, "hit/miss diverged for {} type {}", name, qtype);
+            }
+            prop_assert_eq!(by_string.len(), by_id.len());
+        }
+    }
+}

@@ -335,9 +335,13 @@ impl Network {
             slot.1 = via;
             return;
         }
-        routes.push((prefix, via));
-        // Longest prefix first so lookup can take the first match.
-        routes.sort_by_key(|(p, _)| std::cmp::Reverse(p.prefix_len()));
+        // Longest prefix first so lookup can take the first match. A
+        // positional insert keeps the table sorted without re-sorting the
+        // whole table on every added route; inserting after all equal
+        // prefix lengths preserves the stable-sort (first-match-wins)
+        // order the old push-then-sort produced.
+        let pos = routes.partition_point(|(p, _)| p.prefix_len() >= prefix.prefix_len());
+        routes.insert(pos, (prefix, via));
     }
 
     /// Convenience: default route (0.0.0.0/0) via a neighbor.
@@ -497,15 +501,14 @@ impl Network {
     fn transmit(&mut self, link: LinkId, from: NodeId, to: NodeId, mut dgram: Datagram, ttl: u8) {
         let now = self.now;
         let wire_len = dgram.wire_len();
-        // Split borrows: sample with the RNG before touching link state.
+        // Split borrows: the profile stays borrowed from `self.links`
+        // while the RNG and counters (disjoint fields) are used — no
+        // per-packet profile clone. The RNG draw order (loss, corrupt,
+        // latency) is load-bearing for determinism; keep it.
         let l = &self.links[link.0];
         debug_assert!(l.a == from || l.b == from, "transmit from non-endpoint");
         let dir_is_ab = l.a == from;
-        let profile = if dir_is_ab {
-            l.ab.profile.clone()
-        } else {
-            l.ba.profile.clone()
-        };
+        let profile = if dir_is_ab { &l.ab.profile } else { &l.ba.profile };
         if profile.loss > 0.0 && self.rng.gen_bool(profile.loss) {
             self.dropped_packets += 1;
             return;

@@ -104,10 +104,12 @@ fn write_seq<I, F>(
         }
         write_item(out, item, depth + 1);
     }
-    if indent.is_some() && !empty {
-        out.push('\n');
-        for _ in 0..depth {
-            out.push_str(indent.unwrap());
+    if let Some(pad) = indent {
+        if !empty {
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str(pad);
+            }
         }
     }
     out.push(close);
