@@ -11,6 +11,7 @@
 //! repro ecs            # §4: the ECS factors
 //! repro fallback       # §3 ablation: P1 policies
 //! repro dos            # §3 ablation: ingress-threshold switch
+//! repro chaos [--quick] # robustness: P1 policies under link faults + MEC DNS crash
 //! repro ipreuse        # §5: public-IP reuse accounting
 //! ```
 //!
@@ -30,6 +31,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let nr = args.iter().any(|a| a == "--nr");
+    let quick = args.iter().any(|a| a == "--quick");
     let flag_value = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -155,6 +157,19 @@ fn main() {
             })
             .collect();
         println!("resolver switches: {}", switches.join(", "));
+        println!();
+    }
+    if all || what == "chaos" {
+        let cfg = if quick {
+            mec_cdn::experiments::ChaosConfig::quick()
+        } else {
+            mec_cdn::experiments::ChaosConfig::default()
+        };
+        let r = experiments::chaos_experiment_with(SEED, &runner, &cfg);
+        print!("{}", r.render());
+        if json {
+            println!("{}", serde_json::to_string_pretty(&r).unwrap());
+        }
         println!();
     }
     if all || what == "ipreuse" {

@@ -63,6 +63,13 @@ pub trait Plugin: std::any::Any {
     /// Observes a response obtained from an upstream (forward or
     /// recursion) before it is sent to the client. May mutate it.
     fn on_response(&mut self, _ctx: &QueryCtx, _response: &mut Message) {}
+
+    /// Observes the fate of an upstream exchange the server ran on this
+    /// plugin chain's behalf: `ok = true` when `upstream` answered,
+    /// `false` when it exhausted the retry budget in silence. How the
+    /// forward plugin's health tracker learns which upstreams are dead
+    /// without doing its own I/O.
+    fn on_upstream_event(&mut self, _now: SimTime, _upstream: IpAddr, _ok: bool) {}
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use crate::plugin::{Plugin, PluginDecision, QueryCtx};
 use crate::zone::{LookupResult, Zone};
 use dns_wire::{Message, Name, NameId, RData, Rcode, Record, RrClass, RrType};
 use mec_orch::{ServiceRegistry, Visibility};
-use netsim::Cidr;
+use netsim::{Cidr, SimTime};
 use std::collections::HashMap;
 use std::net::IpAddr;
 
@@ -275,17 +275,77 @@ impl Plugin for StubDomainPlugin {
     }
 }
 
+/// Health state of one forward upstream.
+#[derive(Debug, Clone, Copy)]
+struct UpstreamHealth {
+    addr: IpAddr,
+    /// Silent failures in a row; an answer resets it.
+    consecutive_failures: u32,
+    /// While set and in the future, the upstream is skipped.
+    unhealthy_until: Option<SimTime>,
+}
+
+impl UpstreamHealth {
+    fn new(addr: IpAddr) -> Self {
+        UpstreamHealth {
+            addr,
+            consecutive_failures: 0,
+            unhealthy_until: None,
+        }
+    }
+
+    fn healthy(&self, now: SimTime) -> bool {
+        match self.unhealthy_until {
+            Some(until) => now >= until,
+            None => true,
+        }
+    }
+}
+
 /// Forwards everything to an upstream resolver (the CoreDNS `forward`
 /// plugin) — how a MEC L-DNS hands non-MEC names to the provider's
 /// resolver.
+///
+/// With [`ForwardPlugin::with_secondary`], the plugin tracks each
+/// upstream's health from the server's upstream events (see
+/// [`Plugin::on_upstream_event`]): after
+/// [`ForwardPlugin::failure_threshold`] consecutive silent failures an
+/// upstream is held down for [`ForwardPlugin::hold_down`] and queries
+/// deterministically fail over to the first healthy upstream in
+/// declaration order. When every upstream is held down the primary is
+/// used anyway (there is nothing better to try), which also probes it
+/// for recovery once the hold-down lapses.
 pub struct ForwardPlugin {
-    upstream: IpAddr,
+    upstreams: Vec<UpstreamHealth>,
+    /// Consecutive silent failures before an upstream is held down.
+    pub failure_threshold: u32,
+    /// How long a tripped upstream is skipped before it is probed again.
+    pub hold_down: netsim::SimDuration,
 }
 
 impl ForwardPlugin {
     /// Forwards to `upstream`.
     pub fn new(upstream: IpAddr) -> Self {
-        ForwardPlugin { upstream }
+        ForwardPlugin {
+            upstreams: vec![UpstreamHealth::new(upstream)],
+            failure_threshold: 2,
+            hold_down: netsim::SimDuration::from_secs(5),
+        }
+    }
+
+    /// Adds a lower-priority upstream to fail over to (builder style).
+    pub fn with_secondary(mut self, upstream: IpAddr) -> Self {
+        self.upstreams.push(UpstreamHealth::new(upstream));
+        self
+    }
+
+    /// The upstream a query issued at `now` would be forwarded to.
+    pub fn active_upstream(&self, now: SimTime) -> IpAddr {
+        self.upstreams
+            .iter()
+            .find(|u| u.healthy(now))
+            .unwrap_or(&self.upstreams[0])
+            .addr
     }
 }
 
@@ -294,9 +354,34 @@ impl Plugin for ForwardPlugin {
         "forward"
     }
 
-    fn on_query(&mut self, _ctx: &QueryCtx, _query: &Message) -> PluginDecision {
-        PluginDecision::Forward {
-            upstream: self.upstream,
+    fn on_query(&mut self, ctx: &QueryCtx, query: &Message) -> PluginDecision {
+        let upstream = self.active_upstream(ctx.now);
+        if upstream != self.upstreams[0].addr {
+            ctx.telemetry.incr("dns.forward.failover");
+            ctx.telemetry.mark(
+                u64::from(query.header.id),
+                ctx.now,
+                "forward.failover",
+                upstream.to_string(),
+            );
+        }
+        PluginDecision::Forward { upstream }
+    }
+
+    fn on_upstream_event(&mut self, now: SimTime, upstream: IpAddr, ok: bool) {
+        let threshold = self.failure_threshold;
+        let hold_down = self.hold_down;
+        let Some(u) = self.upstreams.iter_mut().find(|u| u.addr == upstream) else {
+            return;
+        };
+        if ok {
+            u.consecutive_failures = 0;
+            u.unhealthy_until = None;
+        } else {
+            u.consecutive_failures += 1;
+            if u.consecutive_failures >= threshold {
+                u.unhealthy_until = Some(now + hold_down);
+            }
         }
     }
 }
@@ -538,6 +623,44 @@ mod tests {
             p.on_query(&ctx(), &q("anything.at.all")),
             PluginDecision::Forward { .. }
         ));
+    }
+
+    #[test]
+    fn forward_fails_over_after_threshold_and_recovers() {
+        use netsim::{SimDuration, SimTime};
+        let primary: IpAddr = "8.8.8.8".parse().unwrap();
+        let secondary: IpAddr = "1.1.1.1".parse().unwrap();
+        let mut p = ForwardPlugin::new(primary).with_secondary(secondary);
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        assert_eq!(p.active_upstream(t(0)), primary);
+        // One silent failure is not enough (threshold 2).
+        p.on_upstream_event(t(1), primary, false);
+        assert_eq!(p.active_upstream(t(1)), primary);
+        p.on_upstream_event(t(2), primary, false);
+        assert_eq!(p.active_upstream(t(2)), secondary, "held down");
+        // Hold-down (5 s) lapses: the primary is probed again.
+        assert_eq!(p.active_upstream(t(7)), primary);
+        // An answer clears the failure streak entirely.
+        p.on_upstream_event(t(7), primary, true);
+        p.on_upstream_event(t(8), primary, false);
+        assert_eq!(p.active_upstream(t(8)), primary);
+        // Events for servers we do not forward to are ignored.
+        p.on_upstream_event(t(8), "9.9.9.9".parse().unwrap(), false);
+        assert_eq!(p.active_upstream(t(8)), primary);
+    }
+
+    #[test]
+    fn forward_with_all_upstreams_down_uses_the_primary() {
+        use netsim::{SimDuration, SimTime};
+        let primary: IpAddr = "8.8.8.8".parse().unwrap();
+        let secondary: IpAddr = "1.1.1.1".parse().unwrap();
+        let mut p = ForwardPlugin::new(primary).with_secondary(secondary);
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        for i in 0..2 {
+            p.on_upstream_event(t(i), primary, false);
+            p.on_upstream_event(t(i), secondary, false);
+        }
+        assert_eq!(p.active_upstream(t(2)), primary, "nothing better to try");
     }
 
     #[test]

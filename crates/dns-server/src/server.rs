@@ -161,6 +161,23 @@ impl DnsServer {
         panic!("65535 concurrent upstream queries");
     }
 
+    /// The upstream server a job is currently waiting on.
+    fn current_target(job: &Job) -> IpAddr {
+        match &job.kind {
+            JobKind::Forward { upstream } => *upstream,
+            JobKind::Recurse(r) => r.servers[r.server_idx],
+        }
+    }
+
+    /// Tells every plugin how an upstream exchange ended (see
+    /// [`Plugin::on_upstream_event`]) — one event per exchange, not per
+    /// retry attempt.
+    fn notify_upstream(&mut self, now: netsim::SimTime, upstream: IpAddr, ok: bool) {
+        for p in &mut self.plugins {
+            p.on_upstream_event(now, upstream, ok);
+        }
+    }
+
     fn ctx_for(&self, now: netsim::SimTime, reply_to: &Datagram) -> QueryCtx {
         QueryCtx {
             now,
@@ -376,6 +393,10 @@ impl DnsServer {
         let Some(&gen) = self.id_to_gen.get(&msg.header.id) else {
             return; // late or spoofed; drop
         };
+        if let Some(job) = self.jobs.get(&gen) {
+            let target = Self::current_target(job);
+            self.notify_upstream(ctx.now(), target, true);
+        }
         enum Act {
             Finish(Message),
             FailHard,
@@ -556,11 +577,29 @@ impl NodeBehavior for DnsServer {
                     self.telemetry.incr("dns.upstream.retry");
                     self.resend_job(ctx, gen);
                 } else {
+                    // Retry budget exhausted in silence: the upstream is
+                    // presumed dead. Let the plugins know before the job
+                    // fails over or SERVFAILs.
+                    if let Some(job) = self.jobs.get(&gen) {
+                        let target = Self::current_target(job);
+                        self.notify_upstream(ctx.now(), target, false);
+                    }
                     self.advance_or_fail(ctx, gen);
                 }
             }
             _ => {}
         }
+    }
+
+    fn on_restart(&mut self, _ctx: &mut NodeContext<'_>) {
+        // Cold start after a crash: every queued query and in-flight
+        // upstream exchange lived in process memory and is gone. The
+        // cumulative counters survive — they model external scraping, not
+        // process state — and clients see silence for anything dropped.
+        self.inbox.clear();
+        self.jobs.clear();
+        self.id_to_gen.clear();
+        self.busy_until = netsim::SimTime::ZERO;
     }
 }
 

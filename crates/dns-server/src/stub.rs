@@ -78,20 +78,33 @@ struct Pending {
     strategy: SendStrategy,
     started: SimTime,
     retries_left: u8,
+    /// Timeouts observed so far; drives the exponential backoff.
+    attempt: u8,
     fallback_sent: bool,
+    /// Multicast members that answered SERVFAIL (an affirmative "I
+    /// cannot"): the query stays open until someone answers or everyone
+    /// has refused.
+    servfails: Vec<IpAddr>,
     ecs: Option<ClientSubnet>,
 }
 
-/// Client-side query engine: id allocation, retries, multicast and
-/// fallback, and RTT accounting.
+/// Client-side query engine: id allocation, retries with exponential
+/// backoff, multicast and fallback, SERVFAIL-vs-silence handling, and
+/// RTT accounting.
 pub struct StubEngine {
     pending: HashMap<u16, Pending>,
     next_id: u16,
     telemetry: Telemetry,
-    /// Timeout for unicast retries and for declaring total failure.
+    /// Base timeout: how long the first transmission waits. Each
+    /// retransmission doubles the wait (deterministic, jitter-free),
+    /// capped at [`StubEngine::max_backoff`].
     pub query_timeout: SimDuration,
-    /// Unicast retries before giving up.
+    /// Retransmissions before giving up. Applies to every strategy: a
+    /// `FallbackOnTimeout` query retransmits to both resolvers after the
+    /// fallback is engaged, rather than waiting a single extra timeout.
     pub retries: u8,
+    /// Upper bound on one backoff interval.
+    pub max_backoff: SimDuration,
     /// Completed queries, in completion order.
     pub outcomes: Vec<QueryOutcome>,
 }
@@ -104,7 +117,7 @@ impl Default for StubEngine {
 
 impl StubEngine {
     /// An engine with the defaults used throughout the experiments:
-    /// 3-second timeout, 1 retry.
+    /// 3-second timeout, 1 retry, 30-second backoff cap.
     pub fn new() -> Self {
         StubEngine {
             pending: HashMap::new(),
@@ -112,8 +125,18 @@ impl StubEngine {
             telemetry: Telemetry::default(),
             query_timeout: SimDuration::from_secs(3),
             retries: 1,
+            max_backoff: SimDuration::from_secs(30),
             outcomes: Vec::new(),
         }
+    }
+
+    /// The wait after the `attempt`-th timeout: `query_timeout * 2^attempt`,
+    /// capped at `max_backoff`. Purely a function of configuration — no
+    /// random jitter — so retry timelines are reproducible.
+    fn backoff(&self, attempt: u8) -> SimDuration {
+        let shift = u32::from(attempt.min(16));
+        let ns = self.query_timeout.as_nanos().saturating_mul(1u64 << shift);
+        SimDuration::from_nanos(ns).min(self.max_backoff)
     }
 
     /// Routes this engine's telemetry into `t`. Breadcrumbs are keyed by
@@ -155,7 +178,9 @@ impl StubEngine {
             strategy: strategy.clone(),
             started: ctx.now(),
             retries_left: self.retries,
+            attempt: 0,
             fallback_sent: false,
+            servfails: Vec::new(),
             ecs,
         };
         self.pending.insert(id, pending);
@@ -207,7 +232,13 @@ impl StubEngine {
 
     /// Feeds a datagram to the engine. Returns the completed outcome if
     /// this datagram finished a query; `None` if it was consumed as a
-    /// duplicate/late answer or was not DNS at all.
+    /// duplicate/late answer, a SERVFAIL the engine keeps working around,
+    /// or was not DNS at all.
+    ///
+    /// SERVFAIL is treated as an affirmative refusal, distinct from
+    /// silence: a `FallbackOnTimeout` primary's SERVFAIL engages the
+    /// fallback immediately instead of waiting out the timer, and a
+    /// multicast query only fails once *every* member has refused.
     pub fn on_datagram(
         &mut self,
         ctx: &mut NodeContext<'_>,
@@ -217,7 +248,44 @@ impl StubEngine {
         if !msg.header.is_response {
             return None;
         }
-        let pending = self.pending.remove(&msg.header.id)?;
+        let id = msg.header.id;
+        if msg.header.rcode == Rcode::ServFail {
+            let p = self.pending.get_mut(&id)?;
+            match p.strategy.clone() {
+                SendStrategy::FallbackOnTimeout {
+                    primary, fallback, ..
+                } if !p.fallback_sent && dgram.src == primary => {
+                    // The primary affirmatively refused — no point
+                    // waiting for its timer before trying the fallback.
+                    p.fallback_sent = true;
+                    self.telemetry.incr("stub.servfail");
+                    self.telemetry.mark(
+                        u64::from(id),
+                        ctx.now(),
+                        "stub.servfail",
+                        fallback.to_string(),
+                    );
+                    self.transmit(ctx, id, fallback);
+                    ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
+                    return None;
+                }
+                SendStrategy::Multicast(servers) => {
+                    if !p.servfails.contains(&dgram.src) {
+                        p.servfails.push(dgram.src);
+                    }
+                    self.telemetry.incr("stub.servfail");
+                    if p.servfails.len() < servers.len() {
+                        // Someone else may still answer; hold the query
+                        // open (its timer is the backstop).
+                        return None;
+                    }
+                    // Everyone refused: fall through and complete with
+                    // the SERVFAIL (an answer, not a timeout).
+                }
+                _ => {}
+            }
+        }
+        let pending = self.pending.remove(&id)?;
         let used_fallback = match &pending.strategy {
             SendStrategy::FallbackOnTimeout { fallback, .. } => dgram.src == *fallback,
             _ => false,
@@ -261,7 +329,9 @@ impl StubEngine {
         match p.strategy.clone() {
             SendStrategy::FallbackOnTimeout { fallback, .. } if !p.fallback_sent => {
                 // Primary silent: engage the fallback, then wait the full
-                // query timeout for either to answer.
+                // query timeout for either to answer. Engaging the
+                // fallback is strategy, not a retry — it does not touch
+                // the budget or the backoff clock.
                 p.fallback_sent = true;
                 self.telemetry.incr("stub.fallback");
                 self.telemetry
@@ -272,11 +342,47 @@ impl StubEngine {
             }
             SendStrategy::Unicast(server) if p.retries_left > 0 => {
                 p.retries_left -= 1;
+                p.attempt = p.attempt.saturating_add(1);
+                let attempt = p.attempt;
+                let wait = self.backoff(attempt);
                 self.telemetry.incr("stub.retry");
                 self.telemetry
                     .mark(u64::from(id), ctx.now(), "stub.retry", server.to_string());
                 self.transmit(ctx, id, server);
-                ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
+                ctx.set_timer(wait, TAG_STUB | u64::from(id));
+                None
+            }
+            SendStrategy::Multicast(servers) if p.retries_left > 0 => {
+                p.retries_left -= 1;
+                p.attempt = p.attempt.saturating_add(1);
+                let attempt = p.attempt;
+                let wait = self.backoff(attempt);
+                self.telemetry.incr("stub.retry");
+                self.telemetry
+                    .mark(u64::from(id), ctx.now(), "stub.retry", format!("x{}", servers.len()));
+                for s in &servers {
+                    self.transmit(ctx, id, *s);
+                }
+                ctx.set_timer(wait, TAG_STUB | u64::from(id));
+                None
+            }
+            SendStrategy::FallbackOnTimeout {
+                primary, fallback, ..
+            } if p.retries_left > 0 => {
+                // Fallback engaged and still silence: retransmit to both
+                // within the budget, backing off, instead of abandoning
+                // after one extra wait (or retrying a dead primary
+                // forever).
+                p.retries_left -= 1;
+                p.attempt = p.attempt.saturating_add(1);
+                let attempt = p.attempt;
+                let wait = self.backoff(attempt);
+                self.telemetry.incr("stub.retry");
+                self.telemetry
+                    .mark(u64::from(id), ctx.now(), "stub.retry", fallback.to_string());
+                self.transmit(ctx, id, primary);
+                self.transmit(ctx, id, fallback);
+                ctx.set_timer(wait, TAG_STUB | u64::from(id));
                 None
             }
             _ => {
@@ -312,5 +418,17 @@ mod tests {
         assert!(StubEngine::owns_timer(TAG_STUB | 42));
         assert!(!StubEngine::owns_timer(42));
         assert!(!StubEngine::owns_timer(0x11 << 56));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = StubEngine::new();
+        e.query_timeout = SimDuration::from_millis(250);
+        e.max_backoff = SimDuration::from_secs(1);
+        assert_eq!(e.backoff(0), SimDuration::from_millis(250));
+        assert_eq!(e.backoff(1), SimDuration::from_millis(500));
+        assert_eq!(e.backoff(2), SimDuration::from_secs(1));
+        assert_eq!(e.backoff(3), SimDuration::from_secs(1), "capped");
+        assert_eq!(e.backoff(200), SimDuration::from_secs(1), "shift-safe");
     }
 }

@@ -59,11 +59,21 @@ pub struct DosPolicy {
     pub period: SimDuration,
     /// Window the rate is computed over.
     pub window: SimDuration,
+    /// Consecutive over-threshold samples required before mitigating.
+    /// The default of 1 reacts on the first hot sample; raise it so a
+    /// single bursty window (or a fault-induced retry storm) does not
+    /// flap every UE over to the provider L-DNS.
+    pub arm_after: u32,
+    /// Consecutive under-`recover_qps` samples required before moving
+    /// service back to the MEC DNS.
+    pub disarm_after: u32,
     /// Number of mitigations activated.
     pub activations: u64,
     /// Number of recoveries.
     pub recoveries: u64,
     mitigating: bool,
+    over_streak: u32,
+    under_streak: u32,
 }
 
 impl DosPolicy {
@@ -87,10 +97,19 @@ impl DosPolicy {
             recover_qps: threshold_qps * 0.5,
             period: SimDuration::from_millis(500),
             window: SimDuration::from_secs(2),
+            arm_after: 1,
+            disarm_after: 1,
             activations: 0,
             recoveries: 0,
             mitigating: false,
+            over_streak: 0,
+            under_streak: 0,
         }
+    }
+
+    /// Is the policy currently directing UEs at the provider L-DNS?
+    pub fn mitigating(&self) -> bool {
+        self.mitigating
     }
 }
 
@@ -103,14 +122,28 @@ impl NodeBehavior for DosPolicy {
         let rate = self
             .monitor
             .rate_per_sec(&self.service_key, ctx.now(), self.window);
-        if !self.mitigating && rate > self.threshold_qps {
-            self.mitigating = true;
-            self.activations += 1;
-            self.directive.set(self.provider_ldns);
-        } else if self.mitigating && rate < self.recover_qps {
-            self.mitigating = false;
-            self.recoveries += 1;
-            self.directive.set(self.mec_dns);
+        if !self.mitigating {
+            if rate > self.threshold_qps {
+                self.over_streak += 1;
+                if self.over_streak >= self.arm_after {
+                    self.over_streak = 0;
+                    self.mitigating = true;
+                    self.activations += 1;
+                    self.directive.set(self.provider_ldns);
+                }
+            } else {
+                self.over_streak = 0;
+            }
+        } else if rate < self.recover_qps {
+            self.under_streak += 1;
+            if self.under_streak >= self.disarm_after {
+                self.under_streak = 0;
+                self.mitigating = false;
+                self.recoveries += 1;
+                self.directive.set(self.mec_dns);
+            }
+        } else {
+            self.under_streak = 0;
         }
         ctx.set_timer(self.period, 0);
     }
@@ -243,5 +276,58 @@ mod tests {
         assert_eq!(directive.get(), mec);
         assert_eq!(policy.activations, 1);
         assert_eq!(policy.recoveries, 1);
+    }
+
+    #[test]
+    fn arming_hysteresis_needs_consecutive_hot_samples() {
+        let monitor = IngressMonitor::default();
+        let mec: IpAddr = "10.96.0.1".parse().unwrap();
+        let provider: IpAddr = "10.44.9.1".parse().unwrap();
+        let directive = ResolverDirective::new(mec);
+        let mut policy = DosPolicy::new(
+            monitor.clone(),
+            "cdn/dns",
+            directive.clone(),
+            mec,
+            provider,
+            100.0,
+        );
+        policy.period = SimDuration::from_millis(100);
+        policy.window = SimDuration::from_secs(1);
+        policy.arm_after = 3;
+        policy.disarm_after = 2;
+
+        // 200 arrivals in the first 100 ms → 200 qps over the 1 s
+        // window until they age out at t ≈ 1.1 s, then 0 qps.
+        for i in 0..200u64 {
+            monitor.record(
+                "cdn/dns",
+                SimTime::ZERO + SimDuration::from_micros(i * 500),
+            );
+        }
+
+        let mut net = netsim::Network::new(3);
+        let node = net.add_node("dos", ["10.96.2.1".parse::<IpAddr>().unwrap()], policy);
+
+        // Sample the directive between ticks (ticks land on multiples of
+        // 100 ms, samples on odd 50 ms offsets).
+        let samples: Rc<RefCell<Vec<IpAddr>>> = Rc::new(RefCell::new(Vec::new()));
+        for at_ms in [250u64, 350, 1150, 1250] {
+            let samples = Rc::clone(&samples);
+            let directive = directive.clone();
+            net.schedule_call(SimDuration::from_millis(at_ms), move |_| {
+                samples.borrow_mut().push(directive.get());
+            });
+        }
+        net.run_until(netsim::SimTime::ZERO + SimDuration::from_millis(1300));
+
+        // Two hot ticks (100, 200 ms) are not enough; the third (300 ms)
+        // arms. One cold tick (1.1 s) is not enough; the second (1.2 s)
+        // recovers.
+        assert_eq!(*samples.borrow(), vec![mec, provider, provider, mec]);
+        let policy = net.behavior::<DosPolicy>(node);
+        assert_eq!(policy.activations, 1);
+        assert_eq!(policy.recoveries, 1);
+        assert!(!policy.mitigating());
     }
 }

@@ -1452,3 +1452,324 @@ pub fn dos_experiment(seed: u64) -> DosReport {
         provider,
     }
 }
+
+/// Shape of the chaos run: how long the client queries and when the
+/// faults land. All times are off the client's 200 ms query grid so the
+/// fault/query interleaving is unambiguous.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Queries per policy, one every 200 ms, alternating MEC and
+    /// non-MEC names.
+    pub queries: usize,
+    /// When the MEC DNS node crashes (in-memory state lost).
+    pub crash_at: SimDuration,
+    /// When it restarts cold.
+    pub restart_at: SimDuration,
+    /// Window during which the client ↔ MEC DNS link is degraded
+    /// (extra loss + latency + jitter); the provider path stays clean.
+    pub degrade: (SimDuration, SimDuration),
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            queries: 60,
+            crash_at: SimDuration::from_millis(3_900),
+            restart_at: SimDuration::from_millis(7_900),
+            degrade: (SimDuration::from_millis(1_050), SimDuration::from_millis(2_550)),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A shortened run for CI smoke tests: same fault shapes, ~5 s of
+    /// virtual time instead of ~12 s.
+    pub fn quick() -> Self {
+        ChaosConfig {
+            queries: 24,
+            crash_at: SimDuration::from_millis(1_300),
+            restart_at: SimDuration::from_millis(2_700),
+            degrade: (SimDuration::from_millis(450), SimDuration::from_millis(950)),
+        }
+    }
+}
+
+/// One client deployment's (P1 policy's) behaviour under the fault
+/// schedule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosDeployment {
+    /// Policy label (see [`P1Policy::label`]).
+    pub policy: String,
+    /// Queries issued.
+    pub total: usize,
+    /// Queries answered with a usable rcode.
+    pub answered: usize,
+    /// `answered / total`.
+    pub availability: f64,
+    /// Availability over the MEC-served name only.
+    pub mec_availability: f64,
+    /// Availability over the non-MEC name only.
+    pub non_mec_availability: f64,
+    /// 99th-percentile resolution latency over answered queries, ms.
+    pub p99_ms: Option<f64>,
+    /// Answers served by the provider L-DNS while the MEC DNS was down.
+    pub degraded_during_outage: usize,
+    /// Answers served by the MEC DNS while it was down (must be 0 —
+    /// a crashed node answering would be a simulator bug).
+    pub mec_served_during_outage: usize,
+    /// Time from the MEC DNS restart to its first answer, ms. `None`
+    /// when the policy never got one (e.g. too few post-restart
+    /// queries).
+    pub recovery_ms: Option<f64>,
+    /// `stub.query` counter — must equal `total`.
+    pub queries_sent: u64,
+    /// `stub.timeout` counter — must equal `total - answered`.
+    pub timeouts: u64,
+    /// `stub.fallback` counter (timer-based fallback engagements).
+    pub fallback_engaged: u64,
+    /// Answers that actually came from the fallback resolver.
+    pub used_fallback: usize,
+}
+
+/// The chaos experiment's result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosReport {
+    /// Root seed the per-policy trials were derived from.
+    pub seed: u64,
+    /// MEC DNS crash time, ms.
+    pub crash_at_ms: f64,
+    /// MEC DNS restart time, ms.
+    pub restart_at_ms: f64,
+    /// Degraded-link window, ms.
+    pub degrade_window_ms: (f64, f64),
+    /// One entry per P1 policy, in [`P1Policy`] declaration order.
+    pub deployments: Vec<ChaosDeployment>,
+}
+
+impl ChaosReport {
+    /// Plain-text rendering for `repro chaos`.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== chaos — resolution under link faults and a MEC DNS crash ==\n");
+        out.push_str(&format!(
+            "MEC DNS down {:.1}s..{:.1}s; client<->MEC link degraded {:.2}s..{:.2}s\n",
+            self.crash_at_ms / 1000.0,
+            self.restart_at_ms / 1000.0,
+            self.degrade_window_ms.0 / 1000.0,
+            self.degrade_window_ms.1 / 1000.0,
+        ));
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
+            "policy", "avail", "mec", "non-mec", "p99(ms)", "degraded", "recov(ms)"
+        ));
+        for d in &self.deployments {
+            out.push_str(&format!(
+                "{:<20} {:>6.3} {:>9.3} {:>9.3} {:>9} {:>9} {:>10}\n",
+                d.policy,
+                d.availability,
+                d.mec_availability,
+                d.non_mec_availability,
+                d.p99_ms.map_or("-".to_string(), |v| format!("{v:.1}")),
+                d.degraded_during_outage,
+                d.recovery_ms.map_or("-".to_string(), |v| format!("{v:.1}")),
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the chaos experiment serially. See [`chaos_experiment_with`].
+pub fn chaos_experiment(seed: u64) -> ChaosReport {
+    chaos_experiment_with(seed, &Runner::default(), &ChaosConfig::default())
+}
+
+/// The robustness capstone: the [`fallback_experiment`] world put under
+/// a deterministic fault schedule — a degraded client ↔ MEC link
+/// window, then a hard MEC DNS crash with a cold restart — one trial
+/// per [`P1Policy`], fanned out on `runner` with [`derive_seed`]-derived
+/// seeds and merged in policy order (byte-identical at any thread
+/// count).
+///
+/// Every per-policy count is cross-validated against the stub engine's
+/// telemetry counters before the report is returned: a divergence
+/// between what the client measured and what the telemetry traced
+/// panics rather than producing a report that silently disagrees with
+/// itself.
+pub fn chaos_experiment_with(seed: u64, runner: &Runner, cfg: &ChaosConfig) -> ChaosReport {
+    let mec_name = Name::parse(workload::sites::MEC_CDN_DOMAIN).unwrap();
+    let other_name = Name::parse("www.example.com").unwrap();
+    let policies = [
+        P1Policy::MecOnly,
+        P1Policy::MulticastBoth,
+        P1Policy::FallbackAfter(SimDuration::from_millis(60)),
+    ];
+
+    let deployments = runner.run_seeded(policies.len(), seed, |idx, trial_seed| {
+        let policy = policies[idx];
+        let mut net = Network::new(trial_seed);
+        // Same cast as the fallback experiment: a scoped MEC DNS that
+        // ignores non-MEC names, and a farther provider L-DNS that
+        // answers everything.
+        let mut mec_zone = Zone::new(Name::parse(MEC_CDN_ZONE).unwrap());
+        mec_zone.add_a(mec_name.clone(), Ipv4Addr::new(10, 96, 0, 20), 0);
+        let mec_ip: IpAddr = "10.96.0.10".parse().unwrap();
+        let mec = net.add_node(
+            "mec-dns",
+            [mec_ip],
+            DnsServer::new(
+                ServerConfig {
+                    processing: Latency::skewed(1.6, 2.6, 0.9),
+                    ..ServerConfig::default()
+                },
+                vec![
+                    Box::new(ScopePlugin::new(vec![Name::parse(MEC_CDN_ZONE).unwrap()])),
+                    Box::new(AuthoritativePlugin::new(vec![mec_zone])),
+                ],
+            ),
+        );
+        let mut provider_zone = Zone::new(Name::parse("example.com").unwrap());
+        provider_zone.add_a(other_name.clone(), Ipv4Addr::new(93, 184, 216, 34), 0);
+        let mut provider_cdn_zone = Zone::new(Name::parse(MEC_CDN_ZONE).unwrap());
+        provider_cdn_zone.add_a(mec_name.clone(), Ipv4Addr::new(10, 96, 0, 20), 0);
+        let provider_ip: IpAddr = "10.44.9.1".parse().unwrap();
+        let provider = net.add_node(
+            "provider-ldns",
+            [provider_ip],
+            DnsServer::new(
+                ServerConfig {
+                    processing: Latency::skewed(2.0, 3.5, 1.5),
+                    ..ServerConfig::default()
+                },
+                vec![Box::new(AuthoritativePlugin::new(vec![
+                    provider_zone,
+                    provider_cdn_zone,
+                ]))],
+            ),
+        );
+
+        let plan: Vec<PlannedQuery> = (0..cfg.queries)
+            .map(|i| {
+                let name = if i % 2 == 0 {
+                    mec_name.clone()
+                } else {
+                    other_name.clone()
+                };
+                PlannedQuery {
+                    at: SimDuration::from_millis(200 * i as u64),
+                    name,
+                    strategy: policy.strategy(mec_ip, provider_ip),
+                    ecs: None,
+                }
+            })
+            .collect();
+        let mut qc = QueryClient::new(plan);
+        qc.engine_mut().query_timeout = SimDuration::from_millis(500);
+        qc.engine_mut().retries = 0;
+        let telemetry = netsim::Telemetry::new();
+        qc.engine_mut().set_telemetry(telemetry.clone());
+        let client = net.add_node("ue", ["172.16.0.9".parse::<IpAddr>().unwrap()], qc);
+        let mec_link =
+            net.connect(client, mec, LinkProfile::with_latency(Latency::UniformMs(1.0, 2.0)));
+        net.connect(
+            client,
+            provider,
+            LinkProfile::with_latency(Latency::UniformMs(12.0, 16.0)),
+        );
+
+        // The fault plane: degrade the MEC-side access for a while, then
+        // kill the MEC DNS outright and bring it back cold.
+        netsim::FaultSchedule::new()
+            .degrade_link(mec_link, cfg.degrade.0..cfg.degrade.1, 0.25, 3.0, 2.0)
+            .crash_node(mec, cfg.crash_at, Some(cfg.restart_at))
+            .install(&mut net);
+        net.run();
+
+        let crash = netsim::SimTime::ZERO + cfg.crash_at;
+        let restart = netsim::SimTime::ZERO + cfg.restart_at;
+        let measured = &net.behavior::<QueryClient>(client).measured;
+        let mut samples = Samples::new();
+        let (mut answered, mut timed_out) = (0usize, 0usize);
+        // `is-mec-name` → (answered, total).
+        let mut per_class: HashMap<bool, (usize, usize)> = HashMap::new();
+        let (mut degraded_during_outage, mut mec_served_during_outage) = (0usize, 0usize);
+        let mut used_fallback = 0usize;
+        let mut recovery_ms: Option<f64> = None;
+        for m in measured {
+            let class = per_class.entry(m.outcome.name == mec_name).or_insert((0, 0));
+            class.1 += 1;
+            if m.outcome.timed_out {
+                timed_out += 1;
+            }
+            if m.outcome.timed_out || !m.outcome.rcode.is_ok() {
+                continue;
+            }
+            answered += 1;
+            class.0 += 1;
+            samples.record(m.outcome.rtt);
+            if m.outcome.used_fallback {
+                used_fallback += 1;
+            }
+            // During the outage the crashed node must be silent; any
+            // answer in that window has to come from the provider.
+            if m.finished >= crash && m.finished < restart {
+                match m.outcome.responder {
+                    Some(r) if r == mec_ip => mec_served_during_outage += 1,
+                    Some(r) if r == provider_ip => degraded_during_outage += 1,
+                    _ => {}
+                }
+            }
+            if m.outcome.responder == Some(mec_ip) && m.finished >= restart {
+                let since = (m.finished - restart).as_millis_f64();
+                recovery_ms = Some(recovery_ms.map_or(since, |r: f64| r.min(since)));
+            }
+        }
+        let total = measured.len();
+        // Cross-validate the client's measurements against the stub
+        // engine's telemetry trace of the same exchanges.
+        assert_eq!(
+            telemetry.counter("stub.query"),
+            cfg.queries as u64,
+            "telemetry lost issued queries ({})",
+            policy.label()
+        );
+        assert_eq!(total, cfg.queries, "client lost outcomes ({})", policy.label());
+        assert_eq!(
+            telemetry.counter("stub.timeout") as usize,
+            timed_out,
+            "telemetry timeouts disagree with measured outcomes ({})",
+            policy.label()
+        );
+        let fallback_engaged = telemetry.counter("stub.fallback");
+        assert!(
+            used_fallback as u64 <= fallback_engaged + telemetry.counter("stub.servfail"),
+            "more fallback answers than engagements ({})",
+            policy.label()
+        );
+        let avail = |class: Option<&(usize, usize)>| {
+            class.map_or(0.0, |&(ok, all)| if all == 0 { 0.0 } else { ok as f64 / all as f64 })
+        };
+        ChaosDeployment {
+            policy: policy.label().to_string(),
+            total,
+            answered,
+            availability: if total == 0 { 0.0 } else { answered as f64 / total as f64 },
+            mec_availability: avail(per_class.get(&true)),
+            non_mec_availability: avail(per_class.get(&false)),
+            p99_ms: samples.percentile(99.0),
+            degraded_during_outage,
+            mec_served_during_outage,
+            recovery_ms,
+            queries_sent: telemetry.counter("stub.query"),
+            timeouts: telemetry.counter("stub.timeout"),
+            fallback_engaged,
+            used_fallback,
+        }
+    });
+
+    ChaosReport {
+        seed,
+        crash_at_ms: cfg.crash_at.as_millis_f64(),
+        restart_at_ms: cfg.restart_at.as_millis_f64(),
+        degrade_window_ms: (cfg.degrade.0.as_millis_f64(), cfg.degrade.1.as_millis_f64()),
+        deployments,
+    }
+}

@@ -266,6 +266,34 @@ impl Cluster {
         self.pods.remove(&pod.name);
     }
 
+    /// Kills a pod abruptly — crash semantics, not graceful drain: the
+    /// Service stops routing to it, the backing node goes down (packets
+    /// already in flight toward it are blackholed), and its address is
+    /// released. The Service's ClusterIP is untouched, so clients keep
+    /// dialling the same address — the paper's P2 stability claim under
+    /// churn.
+    pub fn kill_pod(&mut self, net: &mut Network, svc: &ServiceHandle, pod: &PodHandle) {
+        self.remove_endpoint(svc, pod);
+        net.set_node_up(pod.node, false);
+        self.evict_pod(net, pod);
+    }
+
+    /// Reschedules a replacement for a killed pod: launches a fresh pod
+    /// (new name, new address — as a Kubernetes controller would) and
+    /// adds it to the Service's endpoints. Returns the new pod.
+    pub fn reschedule_pod<B: NodeBehavior + 'static>(
+        &mut self,
+        net: &mut Network,
+        svc: &ServiceHandle,
+        ns: &str,
+        name: &str,
+        behavior: B,
+    ) -> PodHandle {
+        let pod = self.launch_pod(net, ns, name, behavior);
+        self.add_endpoint(svc, &pod);
+        pod
+    }
+
     /// Attaches an external node (e.g. the P-GW) to the fabric and routes
     /// the cluster's service and pod ranges through it.
     pub fn attach_external(&self, net: &mut Network, node: NodeId, profile: LinkProfile) {
@@ -481,6 +509,49 @@ mod tests {
         assert_eq!(net.behavior::<Fabric>(fabric).no_endpoint_drops, 2);
         // The monitor still sees the ingress (useful for DoS detection).
         assert_eq!(cluster.monitor().total("cdn/dns"), 2);
+    }
+
+    #[test]
+    fn kill_and_reschedule_keep_the_cluster_ip_serving() {
+        use netsim::SimTime;
+        let mut net = Network::new(11);
+        let mut cluster = Cluster::new(&mut net, "mec", ClusterConfig::default());
+        cluster.add_namespace("cdn", Visibility::Public);
+        let p0 = cluster.launch_pod(&mut net, "cdn", "c0", EchoTag(0));
+        let p1 = cluster.launch_pod(&mut net, "cdn", "c1", EchoTag(1));
+        let svc = cluster.create_service(&mut net, "cdn", "dns", &[p0.clone(), p1]);
+        let client = net.add_node(
+            "client",
+            [ip("192.168.0.10")],
+            Client {
+                target: svc.cluster_ip,
+                shots: 40, // one every 10 ms
+                replies: vec![],
+            },
+        );
+        cluster.attach_external(&mut net, client, LinkProfile::lan());
+        // Kill c0 mid-stream and reschedule a replacement 30 ms later,
+        // all while the client keeps firing at the same ClusterIP.
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(150));
+        cluster.kill_pod(&mut net, &svc, &p0);
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(180));
+        cluster.reschedule_pod(&mut net, &svc, "cdn", "c2", EchoTag(2));
+        net.run();
+        let replies = &net.behavior::<Client>(client).replies;
+        // At most the flows in flight at the kill instant can be lost.
+        assert!(replies.len() >= 38, "got {} replies", replies.len());
+        assert!(
+            replies.iter().all(|(src, _)| *src == svc.cluster_ip),
+            "ClusterIP must stay the stable façade through churn"
+        );
+        let tags: Vec<u8> = replies.iter().map(|&(_, tag)| tag).collect();
+        assert!(tags.contains(&2), "replacement pod must take traffic");
+        assert!(
+            !tags[tags.len() - 10..].contains(&0),
+            "killed pod must stop receiving traffic"
+        );
+        assert!(cluster.pod("c0").is_none());
+        assert!(cluster.pod("c2").is_some());
     }
 
     #[test]

@@ -17,9 +17,12 @@ use std::rc::Rc;
 struct MonitorInner {
     /// Service key → arrival timestamps within the retention window.
     arrivals: HashMap<String, VecDeque<SimTime>>,
-    /// Total arrivals per service, ever.
+    /// Total arrivals per service, while the service stays live (see
+    /// the eviction note on [`IngressMonitor::record`]).
     totals: HashMap<String, u64>,
     retention: SimDuration,
+    /// Last time the idle-service sweep ran.
+    last_sweep: SimTime,
 }
 
 /// Sliding-window ingress statistics, shared between the fabric (which
@@ -43,11 +46,18 @@ impl IngressMonitor {
                 arrivals: HashMap::new(),
                 totals: HashMap::new(),
                 retention,
+                last_sweep: SimTime::ZERO,
             })),
         }
     }
 
     /// Records one arrival for `service` at `now`.
+    ///
+    /// Memory stays bounded by the set of *live* services: at most once
+    /// per retention period, services whose newest arrival is older than
+    /// the retention window are evicted entirely — arrivals *and* totals
+    /// — so a chaos run that churns through short-lived services does not
+    /// grow without limit. A live service keeps its lifetime total.
     pub fn record(&self, service: &str, now: SimTime) {
         let mut inner = self.inner.borrow_mut();
         let retention = inner.retention;
@@ -60,6 +70,14 @@ impl IngressMonitor {
         let cutoff = now.as_nanos().saturating_sub(retention.as_nanos());
         while q.front().is_some_and(|t| t.as_nanos() < cutoff) {
             q.pop_front();
+        }
+        if now.as_nanos().saturating_sub(inner.last_sweep.as_nanos()) >= retention.as_nanos() {
+            let m = &mut *inner;
+            m.last_sweep = now;
+            m.arrivals
+                .retain(|_, q| q.back().is_some_and(|t| t.as_nanos() >= cutoff));
+            let live = &m.arrivals;
+            m.totals.retain(|k, _| live.contains_key(k));
         }
     }
 
@@ -145,6 +163,25 @@ mod tests {
         assert_eq!(m.total("nope"), 0);
         assert_eq!(m.count_in_window("nope", t(1), SimDuration::from_secs(1)), 0);
         assert_eq!(m.rate_per_sec("nope", t(1), SimDuration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn idle_services_are_evicted_live_ones_are_not() {
+        let m = IngressMonitor::new(SimDuration::from_secs(1));
+        m.record("short-lived", t(0));
+        // "dns" stays active well past "short-lived"'s retention.
+        for i in 0..50 {
+            m.record("dns", t(i * 100));
+        }
+        assert_eq!(m.total("dns"), 50, "live service keeps its total");
+        assert_eq!(m.total("short-lived"), 0, "idle service evicted");
+        assert_eq!(
+            m.count_in_window("short-lived", t(5000), SimDuration::from_secs(60)),
+            0
+        );
+        // The evicted service can come back as a fresh entry.
+        m.record("short-lived", t(5000));
+        assert_eq!(m.total("short-lived"), 1);
     }
 
     #[test]

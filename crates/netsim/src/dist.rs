@@ -74,6 +74,52 @@ impl Latency {
         }
     }
 
+    /// The same distribution slid `extra_ms` later — every sample gains a
+    /// constant. How a fault window adds queueing delay to a degraded
+    /// link without discarding the link's base shape.
+    pub fn shifted_ms(&self, extra_ms: f64) -> Latency {
+        match *self {
+            Latency::ConstantMs(ms) => Latency::ConstantMs(ms + extra_ms),
+            Latency::UniformMs(lo, hi) => Latency::UniformMs(lo + extra_ms, hi + extra_ms),
+            Latency::NormalMs { mean, std_dev, min } => Latency::NormalMs {
+                mean: mean + extra_ms,
+                std_dev,
+                min: min + extra_ms,
+            },
+            Latency::LogNormalMs { mu, sigma, shift } => Latency::LogNormalMs {
+                mu,
+                sigma,
+                shift: shift + extra_ms,
+            },
+        }
+    }
+
+    /// The same distribution with up to `jitter_ms` of extra uniform
+    /// delay stacked on top (the upper bound grows, the floor does not).
+    /// Zero jitter returns the distribution unchanged, so it draws the
+    /// same number of random values as before.
+    pub fn widened_ms(&self, jitter_ms: f64) -> Latency {
+        if jitter_ms <= 0.0 {
+            return self.clone();
+        }
+        match *self {
+            Latency::ConstantMs(ms) => Latency::UniformMs(ms, ms + jitter_ms),
+            Latency::UniformMs(lo, hi) => Latency::UniformMs(lo, hi.max(lo) + jitter_ms),
+            Latency::NormalMs { mean, std_dev, min } => Latency::NormalMs {
+                mean: mean + jitter_ms / 2.0,
+                std_dev: std_dev + jitter_ms / 2.0,
+                min,
+            },
+            Latency::LogNormalMs { mu, sigma, shift } => {
+                // Re-fit by moment matching around the widened spread.
+                let base = Latency::LogNormalMs { mu, sigma, shift };
+                let mean = base.mean_ms() + jitter_ms / 2.0;
+                let spread = (mean - shift).max(1e-3) + jitter_ms / 2.0;
+                Latency::skewed(shift, mean, spread)
+            }
+        }
+    }
+
     /// Builds a log-normal whose *sampled* mean and standard deviation are
     /// approximately the given values (moment matching), on top of a
     /// constant floor. This is how link profiles express "average X ms

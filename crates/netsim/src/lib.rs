@@ -52,6 +52,7 @@
 
 pub mod addr;
 pub mod dist;
+pub mod faults;
 pub mod network;
 pub mod node;
 pub mod pcap;
@@ -62,6 +63,7 @@ pub mod trace;
 
 pub use addr::Cidr;
 pub use dist::Latency;
+pub use faults::{Fault, FaultSchedule};
 pub use network::{LinkId, LinkProfile, Network, NodeId};
 pub use node::{Datagram, ForwardAction, NodeBehavior, NodeContext, TimerToken};
 pub use stats::{LatencySummary, Samples};

@@ -119,6 +119,12 @@ struct Node {
     routes: Vec<(Cidr, NodeId)>,
     tap: Option<Vec<TapRecord>>,
     tap_payloads: bool,
+    /// False while the node is crashed: packets addressed to or routed
+    /// through it are blackholed and its timers do not fire.
+    up: bool,
+    /// Bumped on every crash so timers armed before the crash can be
+    /// recognised (and discarded) if they fire after a restart.
+    epoch: u64,
 }
 
 enum Event {
@@ -131,6 +137,9 @@ enum Event {
         node: NodeId,
         token: TimerToken,
         data: u64,
+        /// The node's crash epoch when the timer was armed; a stale epoch
+        /// means the node crashed in between and the timer is void.
+        epoch: u64,
     },
     /// `on_start` for `node`.
     Start { node: NodeId },
@@ -184,6 +193,10 @@ pub struct Network {
     pub ttl_expired_packets: u64,
     /// Count of packets with no matching route at some hop.
     pub unroutable_packets: u64,
+    /// Count of packets blackholed because the node they reached (for
+    /// delivery or forwarding) was down. Distinct from link loss: a
+    /// crashed server answers with silence, not SERVFAIL.
+    pub node_down_drops: u64,
 }
 
 impl Network {
@@ -204,6 +217,7 @@ impl Network {
             dropped_packets: 0,
             ttl_expired_packets: 0,
             unroutable_packets: 0,
+            node_down_drops: 0,
         }
     }
 
@@ -238,6 +252,8 @@ impl Network {
             routes: Vec::new(),
             tap: None,
             tap_payloads: false,
+            up: true,
+            epoch: 0,
         });
         self.schedule(self.now, Event::Start { node: id });
         id
@@ -325,6 +341,47 @@ impl Network {
         l.ba.profile = profile;
     }
 
+    /// Both directions' current profiles (a→b, b→a) — what a fault window
+    /// snapshots before degrading a link so it can restore exactly what
+    /// was there, including asymmetric bearers.
+    pub fn link_profiles(&self, link: LinkId) -> (LinkProfile, LinkProfile) {
+        let l = &self.links[link.0];
+        (l.ab.profile.clone(), l.ba.profile.clone())
+    }
+
+    /// Replaces the per-direction profiles (a→b, b→a) on an existing link.
+    pub fn set_link_profiles(&mut self, link: LinkId, ab: LinkProfile, ba: LinkProfile) {
+        let l = &mut self.links[link.0];
+        l.ab.profile = ab;
+        l.ba.profile = ba;
+    }
+
+    /// Whether the node is currently up (not crashed).
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.nodes[node.0].up
+    }
+
+    /// Crashes (`up = false`) or restarts (`up = true`) a node. While
+    /// down, packets addressed to or forwarded through the node are
+    /// blackholed (counted in [`Network::node_down_drops`]) and its timers
+    /// are void — including timers armed *before* the crash that would
+    /// have fired after the restart, modelling lost in-memory state. On
+    /// the down→up transition the behavior's
+    /// [`NodeBehavior::on_restart`] hook runs so it can re-arm timers and
+    /// reset transaction state. Draws no randomness, so injecting a crash
+    /// never perturbs the RNG timeline of unrelated traffic.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        if self.nodes[node.0].up == up {
+            return;
+        }
+        self.nodes[node.0].up = up;
+        if up {
+            self.with_behavior(node, |beh, ctx| beh.on_restart(ctx));
+        } else {
+            self.nodes[node.0].epoch += 1;
+        }
+    }
+
     /// Adds a routing-table entry: packets at `node` matching `prefix` go
     /// to `via` (which must be a connected neighbor when the packet is
     /// forwarded).
@@ -385,7 +442,16 @@ impl Network {
     ) -> TimerToken {
         let token = TimerToken(self.next_timer);
         self.next_timer += 1;
-        self.schedule(self.now + delay, Event::Timer { node, token, data });
+        let epoch = self.nodes[node.0].epoch;
+        self.schedule(
+            self.now + delay,
+            Event::Timer {
+                node,
+                token,
+                data,
+                epoch,
+            },
+        );
         token
     }
 
@@ -427,8 +493,17 @@ impl Network {
         self.now = time;
         match event {
             Event::Start { node } => self.with_behavior(node, |beh, ctx| beh.on_start(ctx)),
-            Event::Timer { node, token, data } => {
-                self.with_behavior(node, |beh, ctx| beh.on_timer(ctx, token, data))
+            Event::Timer {
+                node,
+                token,
+                data,
+                epoch,
+            } => {
+                // Timers armed before a crash die with the crash; timers
+                // for a currently-down node are likewise void.
+                if self.nodes[node.0].up && self.nodes[node.0].epoch == epoch {
+                    self.with_behavior(node, |beh, ctx| beh.on_timer(ctx, token, data))
+                }
             }
             Event::Depart { node, dgram } => self.route_from(node, dgram, INITIAL_TTL),
             Event::Arrive { node, dgram, ttl } => self.arrive(node, dgram, ttl),
@@ -449,6 +524,12 @@ impl Network {
     }
 
     fn arrive(&mut self, node: NodeId, dgram: Datagram, ttl: u8) {
+        if !self.nodes[node.0].up {
+            // A crashed host neither answers nor forwards; the sender
+            // sees silence (timeout), not an error response.
+            self.node_down_drops += 1;
+            return;
+        }
         if self.nodes[node.0].addrs.contains(&dgram.dst) {
             self.tap_record(node, TapDirection::Deliver, &dgram);
             self.with_behavior(node, |beh, ctx| beh.on_datagram(ctx, dgram));

@@ -79,6 +79,13 @@ pub trait NodeBehavior: Any {
     fn on_forward(&mut self, _ctx: &mut NodeContext<'_>, dgram: Datagram) -> ForwardAction {
         ForwardAction::Forward(dgram)
     }
+
+    /// Called when the node comes back up after a crash (see
+    /// [`Network::set_node_up`](crate::Network::set_node_up)). Timers armed
+    /// before the crash never fire, so a behavior that needs periodic work
+    /// must re-arm here; stateful servers should treat this as a cold
+    /// start and drop in-flight transaction state.
+    fn on_restart(&mut self, _ctx: &mut NodeContext<'_>) {}
 }
 
 /// The capabilities a behavior has while handling an event: inspect the

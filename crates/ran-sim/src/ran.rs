@@ -28,6 +28,7 @@ pub struct Ran {
     pub epc: Epc,
     config: EpcConfig,
     enbs: Vec<NodeId>,
+    backhaul_links: Vec<LinkId>,
     next_ue: u64,
     telemetry: Telemetry,
     /// Control-plane attach latency (RACH + RRC setup + NAS attach over
@@ -47,6 +48,7 @@ impl Ran {
             epc,
             config,
             enbs: Vec::new(),
+            backhaul_links: Vec::new(),
             next_ue: 0,
             telemetry: Telemetry::default(),
             attach_delay: SimDuration::from_millis(100),
@@ -66,15 +68,23 @@ impl Ran {
         // eNB addresses live outside the UE pool, in a RAN segment.
         let addr: IpAddr = format!("10.43.0.{}", idx + 1).parse().unwrap();
         let enb = net.add_node(&format!("enb-{idx}"), [addr], EnbBehavior);
-        net.connect(enb, self.epc.sgw, self.config.backhaul.clone());
+        let link = net.connect(enb, self.epc.sgw, self.config.backhaul.clone());
         net.add_default_route(enb, self.epc.sgw);
         self.enbs.push(enb);
+        self.backhaul_links.push(link);
         idx
     }
 
     /// eNB node by index.
     pub fn enb(&self, idx: usize) -> NodeId {
         self.enbs[idx]
+    }
+
+    /// The eNB↔S-GW backhaul link by eNB index — the handle a fault
+    /// schedule needs to partition or degrade one cell's backhaul
+    /// without touching its neighbours.
+    pub fn backhaul_link(&self, idx: usize) -> LinkId {
+        self.backhaul_links[idx]
     }
 
     /// The P-GW's public address (what servers see as the client).
@@ -284,6 +294,36 @@ mod tests {
         let pool: netsim::Cidr = "10.45.0.0/16".parse().unwrap();
         assert!(pool.contains(a.ip));
         assert!(pool.contains(b.ip));
+    }
+
+    #[test]
+    fn handoff_escapes_a_partitioned_backhaul() {
+        let (mut net, mut ran, ue, _server) = build_world(6, 40);
+        // The serving cell's backhaul partitions at 200 ms and never
+        // heals; the neighbour's backhaul is untouched.
+        netsim::FaultSchedule::new()
+            .partition_link(
+                ran.backhaul_link(0),
+                SimDuration::from_millis(200)..SimDuration::from_secs(100),
+            )
+            .install(&mut net);
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(400));
+        let p = net.behavior::<Pinger>(ue.node);
+        let before_handoff = p.got.len();
+        assert!(before_handoff > 0, "no traffic before the partition");
+        // Nothing has returned since the partition opened at 200 ms.
+        let last = p.got.iter().map(|&(_, at)| at).max().unwrap();
+        assert!(last < SimTime::ZERO + SimDuration::from_millis(210));
+        // Hand off to the healthy cell: connectivity resumes.
+        let _att = ran.handoff(&mut net, ue, 1, RadioProfile::Lte);
+        net.run();
+        let p = net.behavior::<Pinger>(ue.node);
+        assert!(
+            p.got.len() > before_handoff,
+            "handoff to the healthy cell restored nothing"
+        );
+        let last_probe = p.got.iter().map(|&(i, _)| i).max().unwrap();
+        assert!(last_probe >= 35, "late probes never returned");
     }
 
     #[test]
