@@ -18,6 +18,8 @@ use mec_cdn::{Runner, TestbedConfig};
 use std::time::Instant;
 
 fn main() {
+    // detlint: allow(env-read) — CLI of a measurement harness, outside
+    // any simulation.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| {
         args.iter()
@@ -34,6 +36,8 @@ fn main() {
         ..TestbedConfig::default()
     };
     let runner = Runner::new(threads);
+    // detlint: allow(wall-clock) — this binary *measures* wall time;
+    // the timed region contains no simulation logic.
     let t = Instant::now();
     let (_, report) = fig5_telemetry_with(&cfg, &runner);
     let wall = t.elapsed();

@@ -32,16 +32,31 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` — the counter increment never
+// affects allocation, so `System`'s `GlobalAlloc` contract (alignment,
+// uniqueness, live-pointer rules) carries over to every method below.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the `GlobalAlloc::alloc` contract
+    // (non-zero-sized `layout`); we forward it verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same `layout` the caller gave us, passed to the
+        // allocator that will also see the matching dealloc.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: caller guarantees `ptr` came from this allocator with
+    // this `layout`; since alloc forwards to `System`, so does dealloc.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` pair originates from `System.alloc`
+        // above, per the caller's `GlobalAlloc` obligations.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: caller guarantees `ptr`/`layout` describe a live
+    // `System` allocation and `new_size` is non-zero.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; `System.realloc` sees exactly the
+        // arguments the caller vouched for.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -58,6 +73,8 @@ fn measure<F: FnMut()>(iters: u64, mut f: F) -> (f64, f64) {
     // Warm up once so lazy state (interner, free lists) settles.
     f();
     let a0 = allocs_now();
+    // detlint: allow(wall-clock) — this binary *measures* wall time;
+    // the timed region contains no simulation logic.
     let t0 = Instant::now();
     for _ in 0..iters {
         f();
@@ -156,6 +173,8 @@ fn run(quick: bool) -> Report {
     // Full simulated resolve world; repeats after the first hit the
     // L-DNS cache, so this is the end-to-end cached path.
     let reps = if quick { 1 } else { 3 };
+    // detlint: allow(wall-clock) — this binary *measures* wall time;
+    // the timed region contains no simulation logic.
     let t0 = Instant::now();
     for _ in 0..reps {
         let answered = hotpath::run_resolution(queries);
@@ -224,6 +243,8 @@ fn check(report: &Report, baseline_path: &str) -> Result<(), String> {
 }
 
 fn main() {
+    // detlint: allow(env-read) — CLI of a measurement harness, outside
+    // any simulation.
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let flag_value = |flag: &str| {

@@ -28,6 +28,8 @@ use ran_sim::RadioProfile;
 const DEFAULT_SEED: u64 = 2020;
 
 fn main() {
+    // detlint: allow(env-read) — CLI of a measurement harness, outside
+    // any simulation.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let nr = args.iter().any(|a| a == "--nr");

@@ -3,7 +3,7 @@
 use crate::content::ContentIndex;
 use crate::protocol::{CdnMsg, CONTENT_PORT};
 use netsim::{Datagram, NodeBehavior, NodeContext};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::IpAddr;
 
 /// An LRU object store bounded by total bytes.
@@ -11,8 +11,9 @@ use std::net::IpAddr;
 struct LruStore {
     capacity_bytes: u64,
     used_bytes: u64,
-    /// key → (size, last-use counter)
-    objects: HashMap<String, (u32, u64)>,
+    /// key → (size, last-use counter). Ordered map so LRU-tick ties
+    /// evict the lexicographically first key, not a hash-order one.
+    objects: BTreeMap<String, (u32, u64)>,
     tick: u64,
 }
 
@@ -21,7 +22,7 @@ impl LruStore {
         LruStore {
             capacity_bytes,
             used_bytes: 0,
-            objects: HashMap::new(),
+            objects: BTreeMap::new(),
             tick: 0,
         }
     }

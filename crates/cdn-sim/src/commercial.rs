@@ -19,7 +19,7 @@ use dns_server::{Plugin, PluginDecision, QueryCtx};
 use dns_wire::{Message, Name, NameId, RData, Rcode, Record, RrClass, RrType};
 use netsim::Cidr;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::net::{IpAddr, Ipv4Addr};
 
@@ -79,12 +79,14 @@ impl WeightedState {
 
 /// The commercial C-DNS: per-(domain, resolver) weighted pool rotation.
 pub struct MultiCdnRouter {
-    /// (interned domain, resolver addr) → weighted pools.
-    per_resolver: HashMap<(NameId, IpAddr), WeightedState>,
+    /// (interned domain, resolver addr) → weighted pools. Ordered map:
+    /// `classify` walks it, and the most-specific-pool tie-break must
+    /// not depend on hash order.
+    per_resolver: BTreeMap<(NameId, IpAddr), WeightedState>,
     /// Interned domain → default pools (resolvers with no override).
-    defaults: HashMap<NameId, Vec<PoolChoice>>,
+    defaults: BTreeMap<NameId, Vec<PoolChoice>>,
     /// Instantiated default states per (domain, resolver).
-    instantiated: HashMap<(NameId, IpAddr), WeightedState>,
+    instantiated: BTreeMap<(NameId, IpAddr), WeightedState>,
     /// Answer TTL. Commercial CDN A records are short-lived.
     pub ttl: u32,
     counter: u64,
@@ -94,9 +96,9 @@ impl MultiCdnRouter {
     /// An empty router.
     pub fn new() -> Self {
         MultiCdnRouter {
-            per_resolver: HashMap::new(),
-            defaults: HashMap::new(),
-            instantiated: HashMap::new(),
+            per_resolver: BTreeMap::new(),
+            defaults: BTreeMap::new(),
+            instantiated: BTreeMap::new(),
             ttl: 30,
             counter: 0,
         }
@@ -248,7 +250,7 @@ mod tests {
                 PoolChoice::new("CloudFront", "54.230.0.0/16", 0.25),
             ],
         );
-        let mut counts: HashMap<&'static str, u32> = HashMap::new();
+        let mut counts: BTreeMap<&'static str, u32> = BTreeMap::new();
         let pool_a: Cidr = "13.249.0.0/16".parse().unwrap();
         for _ in 0..100 {
             let a = ask(&mut r, "q-cf.bstatic.com", "10.1.0.1");

@@ -110,14 +110,13 @@ impl ContentIndex {
     /// — the Traffic Router's content-affinity candidate set.
     pub fn domain_holders(&self, domain_prefix: &str) -> Vec<IpAddr> {
         let inner = self.inner.borrow();
-        let mut set: HashSet<IpAddr> = HashSet::new();
-        for (k, holders) in inner.iter() {
-            if k.starts_with(domain_prefix) {
-                set.extend(holders.iter().copied());
-            }
-        }
-        let mut v: Vec<IpAddr> = set.into_iter().collect();
+        let mut v: Vec<IpAddr> = inner
+            .iter()
+            .filter(|(k, _)| k.starts_with(domain_prefix))
+            .flat_map(|(_, holders)| holders.iter().copied())
+            .collect();
         v.sort();
+        v.dedup();
         v
     }
 }

@@ -1,0 +1,125 @@
+//! # detlint — workspace determinism & hot-path lint engine
+//!
+//! Every experiment in this reproduction (fig2/3/5, table2, chaos) must
+//! be byte-identical across `--threads {1,2,8}`: the paper's latency
+//! decompositions are only trustworthy if the simulation is
+//! deterministic. The determinism/golden suites enforce that invariant
+//! *dynamically* by diffing outputs; `detlint` enforces the *causes*
+//! statically, before a nondeterministic source ever reaches a diff —
+//! the same way Traffic Control and CoreDNS (the paper's C-DNS/L-DNS
+//! substrates) gate merges on custom vet passes.
+//!
+//! Three rule families (see [`rules::RuleId`]):
+//!
+//! * **(D) determinism** — no wall-clock reads, ambient randomness or
+//!   environment reads in crate sources; no unordered `HashMap`/
+//!   `HashSet` iteration in output-affecting crates unless immediately
+//!   sorted, collected into an ordered container, or reduced
+//!   order-insensitively.
+//! * **(P) panic-freedom** — no `unwrap`/`expect`/`panic!`-family or
+//!   unchecked indexing on the resolution hot path.
+//! * **(S) unsafe hygiene** — every `unsafe` carries a `// SAFETY:`
+//!   comment.
+//!
+//! Suppression is only possible through visible, audited annotations
+//! (`// detlint: allow(rule) — justification`, or `allow-item` for an
+//! invariant-heavy item) or a `--baseline` file of grandfathered
+//! findings; both are counted in every report.
+//!
+//! The engine is self-contained — a hand-rolled lexer and a lightweight
+//! scope tracker, no `syn`, no dependencies — because the build
+//! environment has no registry access and vendored stand-ins should not
+//! gate the linter that audits them.
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{scan_source, Finding, ScanResult, Status};
+pub use report::{Baseline, Report, JSON_SCHEMA_VERSION};
+pub use rules::{rules_for_path, RuleId, ALL_RULES, HOT_PATH_FILES, OUTPUT_AFFECTING_CRATES};
+
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: third-party stand-ins, build output, VCS
+/// metadata, and the deliberately-violating lint fixtures.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Collects every lintable `.rs` file under `root`, sorted, as
+/// workspace-relative forward-slash paths.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The workspace-relative path of `file` under `root`, with forward
+/// slashes (the form the policy tables and reports use).
+pub fn relative_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scans the whole workspace at `root` under the standard policy
+/// ([`rules_for_path`]). The returned report is canonicalized.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for file in collect_files(root)? {
+        let rel = relative_path(root, &file);
+        let rules = rules_for_path(&rel);
+        if rules.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(&file)?;
+        let res = scan_source(&rel, &src, &rules);
+        report.findings.extend(res.findings);
+        report
+            .unused_allows
+            .extend(res.unused_allows.into_iter().map(|(m, l)| (m, rel.clone(), l)));
+        report.files_scanned += 1;
+    }
+    report.canonicalize();
+    Ok(report)
+}
+
+/// Walks upward from `start` to the nearest directory whose
+/// `Cargo.toml` declares `[workspace]`; falls back to `start`.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut cur = start.to_path_buf();
+    loop {
+        let manifest = cur.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return cur;
+            }
+        }
+        if !cur.pop() {
+            return start.to_path_buf();
+        }
+    }
+}

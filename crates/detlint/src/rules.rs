@@ -1,0 +1,186 @@
+//! The rule catalogue and the workspace policy mapping files to rules.
+//!
+//! Three families, as enforced by the CI gate:
+//!
+//! * **(D) determinism** — [`RuleId::WallClock`], [`RuleId::AmbientRandom`],
+//!   [`RuleId::EnvRead`] anywhere in crate sources, and [`RuleId::MapIter`]
+//!   (unordered `HashMap`/`HashSet` iteration) in output-affecting crates.
+//! * **(P) panic-freedom** — [`RuleId::HotPanic`] and [`RuleId::HotIndex`]
+//!   in the resolution hot path.
+//! * **(S) unsafe hygiene** — [`RuleId::UnsafeComment`] everywhere.
+
+/// Identity of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `Instant::now` / `SystemTime::now`: wall-clock reads break replay
+    /// determinism; simulations must use virtual `SimTime`.
+    WallClock,
+    /// `thread_rng` / `RandomState` / `from_entropy`: ambient OS
+    /// randomness; all randomness must flow from the per-trial seed.
+    AmbientRandom,
+    /// `std::env` reads: process environment is invisible ambient input.
+    EnvRead,
+    /// Iteration over `HashMap`/`HashSet` whose order can reach output,
+    /// unless immediately sorted, collected into an ordered collection,
+    /// or consumed by an order-insensitive reduction.
+    MapIter,
+    /// `unwrap()` / `expect()` / `panic!`-family macros on the
+    /// resolution hot path.
+    HotPanic,
+    /// Slice/collection indexing (`x[i]`, `x[a..b]`) without `get` on
+    /// the resolution hot path.
+    HotIndex,
+    /// `unsafe` block/fn/impl without a `// SAFETY:` comment.
+    UnsafeComment,
+}
+
+/// Every rule, in catalogue order (also the JSON summary order).
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::WallClock,
+    RuleId::AmbientRandom,
+    RuleId::EnvRead,
+    RuleId::MapIter,
+    RuleId::HotPanic,
+    RuleId::HotIndex,
+    RuleId::UnsafeComment,
+];
+
+impl RuleId {
+    /// Stable machine name, used in `allow(...)` annotations, baselines
+    /// and the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::WallClock => "wall-clock",
+            RuleId::AmbientRandom => "ambient-random",
+            RuleId::EnvRead => "env-read",
+            RuleId::MapIter => "map-iter",
+            RuleId::HotPanic => "hot-panic",
+            RuleId::HotIndex => "hot-index",
+            RuleId::UnsafeComment => "unsafe-comment",
+        }
+    }
+
+    /// The rule family letter from the catalogue (D / P / S).
+    pub fn family(self) -> char {
+        match self {
+            RuleId::WallClock | RuleId::AmbientRandom | RuleId::EnvRead | RuleId::MapIter => 'D',
+            RuleId::HotPanic | RuleId::HotIndex => 'P',
+            RuleId::UnsafeComment => 'S',
+        }
+    }
+
+    /// One-line description for `--list-rules` and the docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::WallClock => "wall-clock read (Instant::now / SystemTime::now)",
+            RuleId::AmbientRandom => "ambient randomness (thread_rng / RandomState / from_entropy)",
+            RuleId::EnvRead => "process environment read (std::env)",
+            RuleId::MapIter => "unordered HashMap/HashSet iteration that can reach output",
+            RuleId::HotPanic => "unwrap/expect/panic! on the resolution hot path",
+            RuleId::HotIndex => "unchecked indexing on the resolution hot path",
+            RuleId::UnsafeComment => "unsafe without a // SAFETY: comment",
+        }
+    }
+
+    /// Parses a rule name as written in an allow annotation.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        ALL_RULES.iter().copied().find(|r| r.name() == s)
+    }
+}
+
+/// Crates whose in-process state feeds experiment output: unordered
+/// iteration there can change emitted bytes between runs or thread
+/// counts, so rule `map-iter` applies to their sources.
+pub const OUTPUT_AFFECTING_CRATES: &[&str] = &[
+    "mec-cdn",
+    "netsim",
+    "dns-server",
+    "cdn-sim",
+    "ran-sim",
+    "mec-orch",
+];
+
+/// The resolution hot path: one query's journey from wire bytes to a
+/// routed answer. Rules `hot-panic` and `hot-index` apply here.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/dns-wire/src/wire.rs",
+    "crates/dns-wire/src/name.rs",
+    "crates/dns-wire/src/intern.rs",
+    "crates/dns-wire/src/message.rs",
+    "crates/dns-server/src/cache.rs",
+    "crates/dns-server/src/stub.rs",
+    "crates/dns-server/src/plugins.rs",
+    "crates/netsim/src/network.rs",
+];
+
+/// The workspace policy: which rules apply to a file, by its
+/// workspace-relative path (forward slashes).
+pub fn rules_for_path(rel: &str) -> Vec<RuleId> {
+    // Lint-fixture layout: `<rule-name>/{bad,good}.rs`. Scanning one of
+    // these (`detlint --root crates/detlint/tests/fixtures`) applies
+    // exactly the named rule, so `--deny` demonstrably fails on each
+    // bad fixture. Normal workspace walks never see these paths — the
+    // file walker skips `fixtures` directories.
+    if let Some((dir, _)) = rel.split_once('/') {
+        if let Some(rule) = RuleId::parse(dir) {
+            return vec![rule];
+        }
+    }
+    let mut rules = vec![RuleId::UnsafeComment];
+    let in_crate_src = rel.starts_with("crates/") && rel.contains("/src/");
+    if in_crate_src {
+        rules.push(RuleId::WallClock);
+        rules.push(RuleId::AmbientRandom);
+        rules.push(RuleId::EnvRead);
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("");
+        if OUTPUT_AFFECTING_CRATES.contains(&crate_name) {
+            rules.push(RuleId::MapIter);
+        }
+    }
+    if HOT_PATH_FILES.contains(&rel) {
+        rules.push(RuleId::HotPanic);
+        rules.push(RuleId::HotIndex);
+    }
+    rules.sort();
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_matches_the_catalogue() {
+        let cache = rules_for_path("crates/dns-server/src/cache.rs");
+        assert!(cache.contains(&RuleId::HotPanic));
+        assert!(cache.contains(&RuleId::HotIndex));
+        assert!(cache.contains(&RuleId::MapIter));
+        let wire = rules_for_path("crates/dns-wire/src/wire.rs");
+        assert!(wire.contains(&RuleId::HotPanic));
+        assert!(!wire.contains(&RuleId::MapIter), "dns-wire emits no output");
+        let test_file = rules_for_path("tests/determinism.rs");
+        assert_eq!(test_file, vec![RuleId::UnsafeComment]);
+        let bench_bin = rules_for_path("crates/bench/src/bin/repro.rs");
+        assert!(bench_bin.contains(&RuleId::WallClock));
+        assert!(!bench_bin.contains(&RuleId::HotPanic));
+    }
+
+    #[test]
+    fn fixture_paths_map_to_their_named_rule() {
+        assert_eq!(rules_for_path("wall-clock/bad.rs"), vec![RuleId::WallClock]);
+        assert_eq!(rules_for_path("hot-index/good.rs"), vec![RuleId::HotIndex]);
+        // A directory that is not a rule name falls through to policy.
+        assert_eq!(rules_for_path("docs/example.rs"), vec![RuleId::UnsafeComment]);
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for &r in ALL_RULES {
+            assert_eq!(RuleId::parse(r.name()), Some(r));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+    }
+}

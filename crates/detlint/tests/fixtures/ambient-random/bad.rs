@@ -1,0 +1,13 @@
+//! Fixture: ambient randomness that must be denied.
+fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+fn hasher() -> RandomState {
+    RandomState::new()
+}
+
+fn seeded_from_os() -> StdRng {
+    StdRng::from_entropy()
+}

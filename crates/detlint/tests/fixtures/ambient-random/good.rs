@@ -1,0 +1,13 @@
+//! Fixture: seed-derived randomness is the approved source.
+fn roll(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_ambient_sources() {
+        let _ = thread_rng();
+    }
+}

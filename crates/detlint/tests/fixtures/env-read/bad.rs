@@ -1,0 +1,8 @@
+//! Fixture: process-environment reads that must be denied.
+fn from_env() -> Option<String> {
+    std::env::var("MEC_CDN_SEED").ok()
+}
+
+fn argv() -> Vec<String> {
+    std::env::args().collect()
+}

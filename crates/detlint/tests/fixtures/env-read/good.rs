@@ -1,0 +1,9 @@
+//! Fixture: configuration arrives as explicit parameters.
+fn from_config(cfg: &Config) -> u64 {
+    cfg.seed
+}
+
+fn annotated_argv() -> Vec<String> {
+    // detlint: allow(env-read) — CLI entry point of a tool binary.
+    std::env::args().collect()
+}

@@ -1,0 +1,12 @@
+//! Fixture: unchecked indexing on the hot path that must be denied.
+fn first(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+fn nth(slots: &Vec<u32>, i: usize) -> u32 {
+    slots[i]
+}
+
+fn tail(buf: &[u8], at: usize) -> &[u8] {
+    &buf[at..]
+}

@@ -1,0 +1,14 @@
+//! Fixture: checked access, or an annotated invariant.
+fn first(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}
+
+fn nth(slots: &[u32], i: usize) -> Option<u32> {
+    slots.get(i).copied()
+}
+
+// detlint: allow-item(hot-index) — ids are minted from `slots.len()`
+// and entries are never removed, so they always index in bounds.
+fn by_id(slots: &[u32], id: SlotId) -> u32 {
+    slots[id.0]
+}

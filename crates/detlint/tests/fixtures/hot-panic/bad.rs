@@ -1,0 +1,16 @@
+//! Fixture: panics on the hot path that must be denied.
+fn lookup(m: &std::collections::BTreeMap<u16, u16>, id: u16) -> u16 {
+    *m.get(&id).unwrap()
+}
+
+fn decode(buf: &[u8]) -> Message {
+    Message::decode(buf).expect("well-formed message")
+}
+
+fn reject() {
+    panic!("unreachable state");
+}
+
+fn later() {
+    todo!()
+}

@@ -1,0 +1,21 @@
+//! Fixture: fallible handling on the hot path.
+fn lookup(m: &std::collections::BTreeMap<u16, u16>, id: u16) -> Option<u16> {
+    m.get(&id).copied()
+}
+
+fn decode(buf: &[u8]) -> Result<Message, WireError> {
+    Message::decode(buf)
+}
+
+fn bounded() {
+    // detlint: allow(hot-panic) — capacity abort on an impossible state.
+    let _id = u32::try_from(usize::MAX).expect("slab overflow");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

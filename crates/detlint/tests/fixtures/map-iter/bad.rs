@@ -1,0 +1,23 @@
+//! Fixture: unordered hash-map iteration that must be denied.
+use std::collections::{HashMap, HashSet};
+
+struct Registry {
+    entries: HashMap<String, u32>,
+}
+
+impl Registry {
+    fn first_alphabetical_is_not(&self) -> Option<&String> {
+        // Hash order leaks straight into the return value.
+        self.entries.keys().next()
+    }
+
+    fn walk(&self) {
+        for (name, v) in self.entries.iter() {
+            println!("{name}={v}");
+        }
+    }
+}
+
+fn drain_all(seen: &mut HashSet<u64>) -> Vec<u64> {
+    seen.drain().collect()
+}

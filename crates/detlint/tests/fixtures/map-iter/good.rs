@@ -1,0 +1,33 @@
+//! Fixture: every iteration is ordered or order-insensitive.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Registry {
+    ordered: BTreeMap<String, u32>,
+    entries: HashMap<String, u32>,
+}
+
+impl Registry {
+    fn walk_ordered(&self) {
+        for (name, v) in &self.ordered {
+            println!("{name}={v}");
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.entries.values().sum()
+    }
+
+    fn any_zero(&self) -> bool {
+        self.entries.values().any(|&v| v == 0)
+    }
+
+    fn sorted_names(&self) -> Vec<&String> {
+        let mut names: Vec<&String> = self.entries.keys().collect();
+        names.sort();
+        names
+    }
+}
+
+fn count(seen: &HashSet<u64>) -> usize {
+    seen.iter().count()
+}

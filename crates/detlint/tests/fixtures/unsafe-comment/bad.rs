@@ -1,0 +1,4 @@
+//! Fixture: unsafe without its SAFETY contract must be denied.
+fn read_first(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,6 @@
+//! Fixture: every unsafe block carries its SAFETY argument.
+fn read_first(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees `ptr` points at a live, initialized
+    // byte for the duration of this call.
+    unsafe { *ptr }
+}

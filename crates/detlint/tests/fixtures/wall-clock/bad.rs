@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads that must be denied.
+use std::time::{Instant, SystemTime};
+
+fn elapsed() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}

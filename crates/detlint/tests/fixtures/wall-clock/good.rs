@@ -1,0 +1,18 @@
+//! Fixture: virtual time and annotated measurement are both fine.
+fn virtual_time(now: SimTime) -> SimTime {
+    now + SimDuration::from_millis(5)
+}
+
+fn measured() -> u128 {
+    // detlint: allow(wall-clock) — measurement harness, not simulation.
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_time_in_tests_is_fine() {
+        let _ = Instant::now();
+    }
+}

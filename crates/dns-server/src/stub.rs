@@ -216,17 +216,24 @@ impl StubEngine {
                 return id;
             }
         }
+        // detlint: allow(hot-panic) — reaching 65535 simultaneously
+        // in-flight queries means the driving experiment is wedged;
+        // aborting is more honest than silently reusing a live id.
         panic!("65535 concurrent stub queries");
     }
 
     fn transmit(&self, ctx: &mut NodeContext<'_>, id: u16, server: IpAddr) {
-        let p = &self.pending[&id];
+        let Some(p) = self.pending.get(&id) else {
+            return; // query already completed; nothing to retransmit
+        };
         let mut q = Message::query(id, p.name.clone(), p.qtype);
         q.header.recursion_desired = true;
         if let Some(cs) = p.ecs {
             q = q.with_client_subnet(cs);
         }
-        let bytes = q.encode().expect("stub query encodes");
+        let Ok(bytes) = q.encode() else {
+            return; // unencodable query: drop it, let the timer expire it
+        };
         ctx.send(server, 53, bytes);
     }
 
@@ -386,7 +393,7 @@ impl StubEngine {
                 None
             }
             _ => {
-                let p = self.pending.remove(&id).expect("checked above");
+                let p = self.pending.remove(&id)?;
                 self.telemetry.incr("stub.timeout");
                 self.telemetry.mark(u64::from(id), ctx.now(), "stub.timeout", "");
                 let outcome = QueryOutcome {

@@ -57,6 +57,24 @@ static TABLE: LazyLock<RwLock<Tables>> = LazyLock::new(|| {
     })
 });
 
+/// Read guard on the global table. A poisoned lock is recovered rather
+/// than propagated: the table is append-only (a writer that panicked
+/// mid-`intern_labels` can at worst leave an entry unreachable from the
+/// bucket chains, never a dangling reference), so the data is always
+/// safe to read and the resolution hot path stays panic-free.
+fn table_read() -> std::sync::RwLockReadGuard<'static, Tables> {
+    TABLE
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write guard on the global table; poison recovery as [`table_read`].
+fn table_write() -> std::sync::RwLockWriteGuard<'static, Tables> {
+    TABLE
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -75,6 +93,8 @@ fn fnv_labels(labels: &[Vec<u8>]) -> u64 {
 }
 
 /// True when `canon` equals the canonical bytes of `labels`.
+// detlint: allow-item(hot-index) — every index below is guarded by the
+// preceding `end >= canon.len()` short-circuit in the same condition.
 fn canon_matches(canon: &[u8], labels: &[Vec<u8>]) -> bool {
     let mut pos = 0;
     for l in labels {
@@ -93,6 +113,9 @@ fn canon_matches(canon: &[u8], labels: &[Vec<u8>]) -> bool {
     pos == canon.len()
 }
 
+// detlint: allow-item(hot-index) — ids stored in `buckets` are minted
+// by `intern_labels` from `entries.len()`, so they always index in
+// bounds; `labels[k..]` has `k < labels.len()` from the loop bound.
 impl Tables {
     fn find(&self, hash: u64, labels: &[Vec<u8>]) -> Option<NameId> {
         self.buckets
@@ -120,6 +143,9 @@ impl Tables {
                         canon.extend(l.iter().map(|b| b.to_ascii_lowercase()));
                         canon.push(b'.');
                     }
+                    // detlint: allow(hot-panic) — 2^32 interned names means
+                    // the workload itself is broken; a capacity abort beats
+                    // silently wrapping ids.
                     let id = u32::try_from(self.entries.len()).expect("name table overflow");
                     self.entries.push(Entry {
                         canon: canon.into_boxed_slice(),
@@ -135,6 +161,9 @@ impl Tables {
     }
 }
 
+// detlint: allow-item(hot-index) — a `NameId` only exists if `intern`
+// minted it from `entries.len()`, and entries are never removed, so
+// `entries[id]` is always in bounds (likewise each stored `parent`).
 impl NameId {
     /// The root name's id.
     pub const ROOT: NameId = NameId(0);
@@ -143,10 +172,10 @@ impl NameId {
     pub fn intern(name: &Name) -> NameId {
         let labels = name.label_slices();
         let h = fnv_labels(labels);
-        if let Some(id) = TABLE.read().unwrap().find(h, labels) {
+        if let Some(id) = table_read().find(h, labels) {
             return id;
         }
-        TABLE.write().unwrap().intern_labels(labels)
+        table_write().intern_labels(labels)
     }
 
     /// The id of `name` if it has ever been interned — the allocation-free
@@ -154,12 +183,12 @@ impl NameId {
     /// nobody has stored would be wasted work.
     pub fn lookup(name: &Name) -> Option<NameId> {
         let labels = name.label_slices();
-        TABLE.read().unwrap().find(fnv_labels(labels), labels)
+        table_read().find(fnv_labels(labels), labels)
     }
 
     /// The parent name's id (one label removed), or `None` at the root.
     pub fn parent(self) -> Option<NameId> {
-        let t = TABLE.read().unwrap();
+        let t = table_read();
         match t.entries[self.0 as usize].parent {
             NO_PARENT => None,
             p => Some(NameId(p)),
@@ -168,7 +197,7 @@ impl NameId {
 
     /// Number of labels in the interned name (the root has zero).
     pub fn label_count(self) -> usize {
-        TABLE.read().unwrap().entries[self.0 as usize].label_count as usize
+        table_read().entries[self.0 as usize].label_count as usize
     }
 
     /// True if `self` equals `ancestor` or sits below it in the tree —
@@ -178,7 +207,7 @@ impl NameId {
         if ancestor == NameId::ROOT {
             return true;
         }
-        let t = TABLE.read().unwrap();
+        let t = table_read();
         let target = t.entries[ancestor.0 as usize].label_count;
         let mut cur = self.0;
         loop {
@@ -196,7 +225,7 @@ impl NameId {
     /// Canonical presentation of the interned name (allocates; debugging
     /// and display only — never on the hot path).
     pub fn canonical(self) -> String {
-        let t = TABLE.read().unwrap();
+        let t = table_read();
         let canon = &t.entries[self.0 as usize].canon;
         if canon.is_empty() {
             ".".to_string()
@@ -213,11 +242,13 @@ impl NameId {
 ///
 /// # Panics
 /// Panics if `out` is shorter than `name.label_count()`.
+// detlint: allow-item(hot-index) — `cur` walks stored parent ids, which
+// the interner guarantees in bounds (see `impl NameId`).
 pub fn suffix_chain(name: &Name, out: &mut [NameId]) -> usize {
     let n = name.label_count();
     assert!(n <= out.len(), "suffix_chain buffer too small");
     let id = NameId::intern(name);
-    let t = TABLE.read().unwrap();
+    let t = table_read();
     let mut cur = id.0;
     for slot in out.iter_mut().take(n) {
         *slot = NameId(cur);

@@ -133,11 +133,8 @@ impl Name {
 
     /// Returns the parent name (one label removed), or `None` at the root.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
-            return None;
-        }
-        Some(Name {
-            labels: self.labels[1..].to_vec(),
+        self.labels.get(1..).map(|rest| Name {
+            labels: rest.to_vec(),
         })
     }
 
@@ -195,6 +192,9 @@ impl Name {
     /// Encodes the name, emitting a compression pointer for the longest
     /// suffix the writer has already seen. Compression state is keyed by
     /// interned [`NameId`]s, so no suffix strings are built.
+    // detlint: allow-item(hot-index) — `suffix_chain` fills `chain[..n]`
+    // with `n == self.labels.len() <= MAX_LABELS`, and every index below
+    // is bounded by `skip < n` or `i < n`.
     pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
         let mut chain = [NameId::ROOT; MAX_LABELS];
         let n = intern::suffix_chain(self, &mut chain);

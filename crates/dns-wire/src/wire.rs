@@ -51,10 +51,10 @@ impl<'a> Reader<'a> {
 
     /// Reads one octet.
     pub fn read_u8(&mut self, what: &'static str) -> Result<u8, WireError> {
-        if self.pos >= self.buf.len() {
-            return Err(WireError::Truncated { expected: what });
-        }
-        let b = self.buf[self.pos];
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(WireError::Truncated { expected: what })?;
         self.pos += 1;
         Ok(b)
     }
@@ -75,10 +75,10 @@ impl<'a> Reader<'a> {
 
     /// Reads exactly `n` bytes.
     pub fn read_bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated { expected: what });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
+        let out = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(WireError::Truncated { expected: what })?;
         self.pos += n;
         Ok(out)
     }
@@ -145,6 +145,9 @@ impl Writer {
 
     /// Overwrites the big-endian 16-bit value at `at` (used to back-patch
     /// RDLENGTH after the record data is known).
+    // detlint: allow-item(hot-index) — `at` is an offset `self.len()`
+    // returned when the two-byte placeholder was appended, and the
+    // buffer only grows, so `at + 1` stays in bounds.
     pub fn patch_u16(&mut self, at: usize, v: u16) {
         let b = v.to_be_bytes();
         self.buf[at] = b[0];

@@ -18,7 +18,7 @@ use dns_server::{DnsServer, SendStrategy, ServerConfig, Zone};
 use dns_wire::Name;
 use netsim::{Latency, LinkProfile, Network, NodeId, Samples, SimDuration};
 use ran_sim::AccessKind;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{IpAddr, Ipv4Addr};
 use workload::figures::{Bar, DistributionFigure, Figure, StackedBar};
 use workload::sites::{PoolWeight, Site, MEC_CDN_ZONE, SITES};
@@ -232,7 +232,8 @@ pub fn fig2_fig3_with(seed: u64, runner: &Runner) -> (Figure, Vec<DistributionFi
         for site in SITES {
             let name = Name::parse(site.domain).unwrap();
             let mut samples = Samples::new();
-            let mut pool_counts: HashMap<String, u64> = HashMap::new();
+            // Ordered map: its iteration order reaches the report bytes.
+            let mut pool_counts: BTreeMap<String, u64> = BTreeMap::new();
             let mut answered = 0u64;
             for m in measured.iter().filter(|m| m.outcome.name == name) {
                 if m.outcome.timed_out {
@@ -251,11 +252,10 @@ pub fn fig2_fig3_with(seed: u64, runner: &Runner) -> (Figure, Vec<DistributionFi
                     &summary,
                 ));
             }
-            let mut pcts: Vec<(String, f64)> = pool_counts
+            let pcts: Vec<(String, f64)> = pool_counts
                 .into_iter()
                 .map(|(k, v)| (k, 100.0 * v as f64 / answered.max(1) as f64))
                 .collect();
-            pcts.sort_by(|a, b| a.0.cmp(&b.0));
             trial.pools.push((site.name, pcts));
         }
         trial

@@ -4,7 +4,7 @@ use crate::fabric::{Fabric, ServiceState, ServiceTable};
 use crate::monitor::IngressMonitor;
 use crate::registry::{ServiceRegistry, Visibility};
 use netsim::{Cidr, LinkProfile, Network, NodeBehavior, NodeId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::IpAddr;
 
 /// Address plan for a cluster.
@@ -72,7 +72,10 @@ pub struct Cluster {
     registry: ServiceRegistry,
     monitor: IngressMonitor,
     namespaces: HashMap<String, Visibility>,
-    pods: HashMap<String, PodHandle>,
+    /// Ordered by pod name: `attach_external` walks this map and
+    /// netsim routes are positional, so insertion must not follow
+    /// hash order.
+    pods: BTreeMap<String, PodHandle>,
     service_handles: HashMap<String, ServiceHandle>,
     next_service_ip: u64,
     next_pod_ip: u64,
@@ -97,7 +100,7 @@ impl Cluster {
             registry: ServiceRegistry::new(),
             monitor,
             namespaces: HashMap::new(),
-            pods: HashMap::new(),
+            pods: BTreeMap::new(),
             service_handles: HashMap::new(),
             next_service_ip: 0,
             next_pod_ip: 1, // 0 is the fabric

@@ -199,6 +199,11 @@ pub struct Network {
     pub node_down_drops: u64,
 }
 
+// detlint: allow-item(hot-index) — `NodeId`/`LinkId` are only minted by
+// `add_node`/`connect` from the vector lengths, nodes and links are
+// never removed, and ids are not forgeable outside the crate, so every
+// `self.nodes[..]`/`self.links[..]` access is in bounds; `payload[idx]`
+// draws `idx` from `0..payload.len()`.
 impl Network {
     /// Creates an empty network with a seeded RNG. The same seed always
     /// produces the same simulation.
@@ -651,10 +656,12 @@ impl Network {
     where
         F: FnOnce(&mut Box<dyn NodeBehavior>, &mut NodeContext<'_>),
     {
-        let mut beh = self.nodes[node.0]
-            .behavior
-            .take()
-            .expect("reentrant dispatch on one node");
+        let Some(mut beh) = self.nodes[node.0].behavior.take() else {
+            // Reentrant dispatch on one node, or a node added without a
+            // behavior: drop the datagram rather than crash mid-run.
+            debug_assert!(false, "dispatch with behavior absent");
+            return;
+        };
         let mut ctx = NodeContext { net: self, node };
         f(&mut beh, &mut ctx);
         self.nodes[node.0].behavior = Some(beh);
@@ -662,6 +669,8 @@ impl Network {
 
     /// Immutable access to a node's behavior, downcast to its concrete
     /// type. Panics if the type does not match — a test-harness bug.
+    // detlint: allow-item(hot-panic) — test-harness accessor with a
+    // documented panic contract; never called from dispatch itself.
     pub fn behavior<B: NodeBehavior>(&self, node: NodeId) -> &B {
         let beh: &dyn NodeBehavior = &**self.nodes[node.0]
             .behavior
@@ -673,6 +682,7 @@ impl Network {
     }
 
     /// Mutable access to a node's behavior, downcast to its concrete type.
+    // detlint: allow-item(hot-panic) — same contract as [`Self::behavior`].
     pub fn behavior_mut<B: NodeBehavior>(&mut self, node: NodeId) -> &mut B {
         let beh: &mut dyn NodeBehavior = &mut **self.nodes[node.0]
             .behavior
