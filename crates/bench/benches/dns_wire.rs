@@ -44,5 +44,51 @@ fn bench_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_codec);
+/// Rejection cost for hostile bytes — the price a public-facing
+/// resolver pays per garbage packet. Each input exercises one of the
+/// decode-hardening guards; all must fail fast (no deep walks, no
+/// count-sized preallocation) and none may panic.
+fn bench_hostile_decode(c: &mut Criterion) {
+    // Deep strictly-backward pointer chain hidden in label content;
+    // refused by the pointer-hop budget.
+    let mut chain = vec![0x00, 0x01, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0];
+    let mut prev: usize = 4;
+    let mut remaining = 40usize;
+    while remaining > 0 {
+        let in_label = remaining.min(31);
+        chain.push((in_label * 2) as u8);
+        for _ in 0..in_label {
+            let pos = chain.len();
+            chain.push(0xC0 | (prev >> 8) as u8);
+            chain.push(prev as u8);
+            prev = pos;
+        }
+        remaining -= in_label;
+    }
+    chain.push(0x00);
+    chain.extend_from_slice(&[0, 1, 0, 1]);
+    chain.push(0xC0 | (prev >> 8) as u8);
+    chain.push(prev as u8);
+    chain.extend_from_slice(&[0, 1, 0, 1]);
+
+    // 13 bytes claiming 65535 records per section; refused by the
+    // count clamp before any allocation can happen.
+    let lying_counts: Vec<u8> = vec![
+        0, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x00,
+    ];
+
+    for (tag, input) in [
+        ("deep_pointer_chain", chain),
+        ("lying_counts", lying_counts),
+    ] {
+        c.bench_function(&format!("decode_reject_{tag}"), |b| {
+            b.iter(|| {
+                Message::decode(black_box(&input))
+                    .expect_err("hostile input must be refused")
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_codec, bench_hostile_decode);
 criterion_main!(benches);

@@ -98,6 +98,9 @@ pub const OUTPUT_AFFECTING_CRATES: &[&str] = &[
     "cdn-sim",
     "ran-sim",
     "mec-orch",
+    // The fuzzer's summary must be byte-identical across thread counts;
+    // its aggregates are as output-affecting as the experiment runner's.
+    "dns-fuzz",
 ];
 
 /// The resolution hot path: one query's journey from wire bytes to a
@@ -107,6 +110,11 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/dns-wire/src/name.rs",
     "crates/dns-wire/src/intern.rs",
     "crates/dns-wire/src/message.rs",
+    "crates/dns-wire/src/header.rs",
+    "crates/dns-wire/src/record.rs",
+    "crates/dns-wire/src/rdata.rs",
+    "crates/dns-wire/src/edns.rs",
+    "crates/dns-wire/src/error.rs",
     "crates/dns-server/src/cache.rs",
     "crates/dns-server/src/stub.rs",
     "crates/dns-server/src/plugins.rs",
@@ -161,6 +169,19 @@ mod tests {
         let wire = rules_for_path("crates/dns-wire/src/wire.rs");
         assert!(wire.contains(&RuleId::HotPanic));
         assert!(!wire.contains(&RuleId::MapIter), "dns-wire emits no output");
+        // Every dns-wire decode site is hot path: hostile bytes flow
+        // through all of these before a message exists.
+        for f in [
+            "crates/dns-wire/src/header.rs",
+            "crates/dns-wire/src/record.rs",
+            "crates/dns-wire/src/rdata.rs",
+            "crates/dns-wire/src/edns.rs",
+            "crates/dns-wire/src/error.rs",
+        ] {
+            assert!(rules_for_path(f).contains(&RuleId::HotIndex), "{f}");
+        }
+        let fuzz = rules_for_path("crates/dns-fuzz/src/report.rs");
+        assert!(fuzz.contains(&RuleId::MapIter), "fuzz summary is output");
         let test_file = rules_for_path("tests/determinism.rs");
         assert_eq!(test_file, vec![RuleId::UnsafeComment]);
         let bench_bin = rules_for_path("crates/bench/src/bin/repro.rs");

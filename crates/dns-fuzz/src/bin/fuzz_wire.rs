@@ -1,0 +1,140 @@
+//! `fuzz_wire` — the long-running campaign driver.
+//!
+//! ```text
+//! fuzz_wire [--cases N] [--seed 0xHEX] [--threads T]
+//!           [--summary PATH] [--crashers DIR] [--write-seeds]
+//! ```
+//!
+//! Runs a deterministic fuzz campaign against `dns-wire` and prints
+//! (or writes) the byte-stable summary report. Exits non-zero when any
+//! crasher is found — the CI fail-on-crasher gate. With `--crashers`
+//! each retained crasher is minimized and written as
+//! `case-<idx>-<class>.bin` for pinning as a regression fixture.
+//! `--write-seeds` regenerates `corpus/seeds/*.bin` from the builders
+//! in `dns_fuzz::corpus` and exits.
+
+use dns_fuzz::{minimize, oracle, runner, Config};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        s.replace('_', "").parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    // detlint: allow(env-read) — CLI of a test harness, outside any
+    // simulation; the campaign itself is seeded explicitly.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: fuzz_wire [--cases N] [--seed 0xHEX] [--threads T] \
+             [--summary PATH] [--crashers DIR] [--write-seeds]"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--write-seeds") {
+        // Works from the workspace root or from the crate directory.
+        let dir = if Path::new("crates/dns-fuzz/corpus/seeds").is_dir() {
+            "crates/dns-fuzz/corpus/seeds"
+        } else {
+            "corpus/seeds"
+        };
+        let seeds = dns_fuzz::corpus::build_seeds();
+        for (i, s) in seeds.iter().enumerate() {
+            let path = format!("{dir}/seed-{i:02}.bin");
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("fuzz_wire: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("wrote {} seeds to {dir}", seeds.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = Config::default();
+    if let Some(v) = value_of("--cases") {
+        match parse_u64(v) {
+            Some(n) => cfg.cases = n,
+            None => {
+                eprintln!("fuzz_wire: bad --cases {v}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(v) = value_of("--seed") {
+        match parse_u64(v) {
+            Some(n) => cfg.root_seed = n,
+            None => {
+                eprintln!("fuzz_wire: bad --seed {v}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(v) = value_of("--threads") {
+        match v.parse() {
+            Ok(n) => cfg.threads = n,
+            Err(_) => {
+                eprintln!("fuzz_wire: bad --threads {v}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let summary = runner::run(&cfg);
+    let rendered = summary.render();
+    match value_of("--summary") {
+        Some(path) if path != "-" => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("fuzz_wire: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        _ => print!("{rendered}"),
+    }
+
+    if summary.crash_count() == 0 {
+        return ExitCode::SUCCESS;
+    }
+
+    // Crashers found: minimize and (optionally) emit fixtures.
+    if let Some(dir) = value_of("--crashers") {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("fuzz_wire: cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for c in &summary.crashers {
+            let class = c.outcome.class();
+            let small = minimize::minimize(
+                &c.input,
+                |bytes| oracle::check(bytes, true).class() == class,
+                4096,
+            );
+            let path = format!("{dir}/case-{:08}-{class}.bin", c.case_idx);
+            if let Err(e) = std::fs::write(&path, &small) {
+                eprintln!("fuzz_wire: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "crasher case {} [{}]: {} -> {} bytes -> {path}",
+                c.case_idx,
+                class,
+                c.input.len(),
+                small.len()
+            );
+        }
+    }
+    eprintln!("fuzz_wire: {} crashing case(s) found", summary.crash_count());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,99 @@
+//! Greedy deterministic crasher minimization.
+//!
+//! Before a crasher is written out as a fixture it is shrunk: smaller
+//! inputs make better regression tests and better bug reports. The
+//! strategy is ddmin-flavored — try removing exponentially smaller
+//! chunks, then canonicalize surviving bytes toward zero — with a hard
+//! attempt budget so minimization can never stall a campaign.
+
+/// Shrinks `input` while `still_fails` holds, spending at most `budget`
+/// predicate evaluations. Returns the smallest failing input found.
+pub fn minimize<F: Fn(&[u8]) -> bool>(input: &[u8], still_fails: F, mut budget: usize) -> Vec<u8> {
+    let mut best = input.to_vec();
+    if !still_fails(&best) {
+        // Not reproducible under the predicate — nothing to do.
+        return best;
+    }
+
+    // Phase 1: chunk removal, halving the chunk size each round.
+    let mut chunk = (best.len() / 2).max(1);
+    while chunk >= 1 && budget > 0 {
+        let mut offset = 0;
+        let mut removed_any = false;
+        while offset < best.len() && budget > 0 {
+            let end = (offset + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len());
+            candidate.extend_from_slice(&best[..offset]);
+            candidate.extend_from_slice(&best[end..]);
+            budget -= 1;
+            if !candidate.is_empty() && still_fails(&candidate) {
+                best = candidate;
+                removed_any = true;
+                // Same offset now names the next chunk; don't advance.
+            } else {
+                offset += chunk;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        chunk = if chunk == 1 { 0 } else { chunk / 2 };
+    }
+
+    // Phase 2: canonicalize — zero out bytes that don't matter.
+    let mut i = 0;
+    while i < best.len() && budget > 0 {
+        if best[i] != 0 {
+            let saved = best[i];
+            best[i] = 0;
+            budget -= 1;
+            if !still_fails(&best) {
+                best[i] = saved;
+            }
+        }
+        i += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // "Fails" iff the bytes contain the pair 0xC0 0x0C.
+        let fails = |b: &[u8]| b.windows(2).any(|w| w == [0xC0, 0x0C]);
+        let mut input = vec![7u8; 64];
+        input[40] = 0xC0;
+        input[41] = 0x0C;
+        let out = minimize(&input, fails, 10_000);
+        assert!(fails(&out));
+        assert!(out.len() <= 3, "got {} bytes", out.len());
+    }
+
+    #[test]
+    fn zeroes_irrelevant_bytes() {
+        let fails = |b: &[u8]| b.len() >= 4;
+        let out = minimize(&[9, 9, 9, 9, 9], fails, 10_000);
+        assert_eq!(out, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn non_reproducing_input_returned_unchanged() {
+        let out = minimize(&[1, 2, 3], |_| false, 100);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn respects_budget() {
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let fails = |_: &[u8]| {
+            calls.set(calls.get() + 1);
+            true
+        };
+        let _ = minimize(&[1; 256], fails, 50);
+        assert!(calls.get() <= 51, "{} calls", calls.get());
+    }
+}

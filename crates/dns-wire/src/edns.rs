@@ -89,10 +89,13 @@ impl ClientSubnet {
             return Err(WireError::BadClientSubnet("source prefix exceeds family"));
         }
         let addr_len = usize::from(self.source_prefix.div_ceil(8));
+        let disclosed = octets
+            .get(..addr_len)
+            .ok_or(WireError::BadClientSubnet("source prefix exceeds family"))?;
         w.write_u16(family);
         w.write_u8(self.source_prefix);
         w.write_u8(self.scope_prefix);
-        w.write_bytes(&octets[..addr_len]);
+        w.write_bytes(disclosed);
         Ok(())
     }
 
@@ -112,7 +115,7 @@ impl ClientSubnet {
                     return Err(WireError::BadClientSubnet("v4 prefix > 32"));
                 }
                 let mut o = [0u8; 4];
-                o[..bytes.len()].copy_from_slice(bytes);
+                fill_prefix(&mut o, bytes)?;
                 IpAddr::V4(Ipv4Addr::from(o))
             }
             FAMILY_IPV6 => {
@@ -120,7 +123,7 @@ impl ClientSubnet {
                     return Err(WireError::BadClientSubnet("v6 prefix > 128"));
                 }
                 let mut o = [0u8; 16];
-                o[..bytes.len()].copy_from_slice(bytes);
+                fill_prefix(&mut o, bytes)?;
                 IpAddr::V6(Ipv6Addr::from(o))
             }
             _ => return Err(WireError::BadClientSubnet("unknown family")),
@@ -135,6 +138,18 @@ impl ClientSubnet {
             scope_prefix,
         })
     }
+}
+
+/// Copies `bytes` into the front of `dst`, refusing (rather than
+/// panicking) when the wire carried more address octets than the
+/// family's address can hold.
+fn fill_prefix(dst: &mut [u8], bytes: &[u8]) -> Result<(), WireError> {
+    dst.get_mut(..bytes.len())
+        .ok_or(WireError::BadClientSubnet(
+            "address longer than family allows",
+        ))?
+        .copy_from_slice(bytes);
+    Ok(())
 }
 
 /// Zeroes all address bits beyond `prefix`.
@@ -228,8 +243,10 @@ impl Opt {
                     w.write_bytes(&body);
                 }
                 EdnsOption::Other { code, data } => {
+                    let len = u16::try_from(data.len())
+                        .map_err(|_| WireError::BadEdnsOption)?;
                     w.write_u16(*code);
-                    w.write_u16(data.len() as u16);
+                    w.write_u16(len);
                     w.write_bytes(data);
                 }
             }
@@ -250,10 +267,7 @@ impl Opt {
         if rec.rrtype() != RrType::Opt {
             return Err(WireError::BadEdnsOption);
         }
-        let data = match &rec.rdata {
-            RData::OptRaw(d) => d,
-            _ => return Err(WireError::BadEdnsOption),
-        };
+        let data = rec.rdata.as_opt_raw().ok_or(WireError::BadEdnsOption)?;
         let mut options = Vec::new();
         let mut r = Reader::new(data);
         while r.remaining() > 0 {
@@ -332,12 +346,99 @@ mod tests {
         let opt = Opt::with_client_subnet(cs);
         // /0 encodes zero address octets
         let rec = opt.to_record().unwrap();
-        if let RData::OptRaw(d) = &rec.rdata {
-            assert_eq!(d.len(), 4 + 4); // code+len+family+prefixes, no addr
-        } else {
-            panic!("not OPT rdata");
-        }
+        let d = rec.rdata.as_opt_raw().expect("OPT record carries OptRaw");
+        assert_eq!(d.len(), 4 + 4); // code+len+family+prefixes, no addr
         assert_eq!(roundtrip(&opt).client_subnet(), Some(&cs));
+    }
+
+    #[test]
+    fn from_record_rejects_non_opt_rdata() {
+        // A record that is not an OPT pseudo-record yields a typed error,
+        // never a panic, on both the type check and the rdata accessor.
+        let rec = Record::new(
+            Name::root(),
+            RrClass::In,
+            0,
+            RData::A("192.0.2.1".parse().unwrap()),
+        );
+        assert_eq!(Opt::from_record(&rec), Err(WireError::BadEdnsOption));
+    }
+
+    #[test]
+    fn option_length_overflowing_rdata_is_truncated_error() {
+        // Option header claims 10 body bytes but only 2 exist.
+        let rec = Record {
+            name: Name::root(),
+            class: RrClass::Other(1232),
+            ttl: 0,
+            rdata: RData::OptRaw(vec![0x00, 0x08, 0x00, 0x0A, 0x01, 0x02]),
+        };
+        assert!(matches!(
+            Opt::from_record(&rec),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn ecs_address_longer_than_prefix_implies_is_rejected() {
+        // source_prefix=8 implies exactly 1 address octet; two are present.
+        let data = [0x00, 0x01, 8, 0, 10, 45];
+        assert_eq!(
+            ClientSubnet::decode(&data),
+            Err(WireError::BadClientSubnet("trailing bytes"))
+        );
+        // ...and fewer than implied is a truncation error.
+        let data = [0x00, 0x01, 24, 0, 10];
+        assert!(matches!(
+            ClientSubnet::decode(&data),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_option_codes_are_preserved_opaquely() {
+        let opt = Opt {
+            options: vec![
+                EdnsOption::Other {
+                    code: 0xFADE,
+                    data: vec![0xDE, 0xAD, 0xBE, 0xEF],
+                },
+                EdnsOption::Other {
+                    code: 15, // EDE — modeled nowhere, must survive verbatim
+                    data: vec![0, 1],
+                },
+            ],
+            ..Opt::default()
+        };
+        let back = roundtrip(&opt);
+        assert_eq!(back.options, opt.options);
+        // Re-encoding the decoded form is byte-identical.
+        let a = opt.to_record().unwrap();
+        let b = back.to_record().unwrap();
+        assert_eq!(a.rdata, b.rdata);
+    }
+
+    #[test]
+    fn udp_payload_size_extremes_roundtrip() {
+        for size in [0u16, 511, 512, 1232, u16::MAX] {
+            let opt = Opt {
+                udp_payload_size: size,
+                ..Opt::default()
+            };
+            assert_eq!(roundtrip(&opt).udp_payload_size, size);
+        }
+    }
+
+    #[test]
+    fn oversized_other_option_is_refused_at_encode() {
+        let opt = Opt {
+            options: vec![EdnsOption::Other {
+                code: 9,
+                data: vec![0; usize::from(u16::MAX) + 1],
+            }],
+            ..Opt::default()
+        };
+        assert_eq!(opt.to_record(), Err(WireError::BadEdnsOption));
     }
 
     #[test]

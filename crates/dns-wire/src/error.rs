@@ -18,11 +18,18 @@ pub enum WireError {
     InvalidLabelByte(u8),
     /// An empty (zero-label) name was supplied where a hostname is required.
     EmptyName,
-    /// A compression pointer pointed at or beyond its own position, or a
-    /// pointer chain was longer than the decoder permits.
+    /// A compression pointer pointed at or beyond its own position
+    /// (pointers must point strictly backwards) or outside the message.
     BadPointer {
         /// Byte offset the pointer referenced.
         target: usize,
+    },
+    /// A (strictly backward) pointer chain exceeded the decode step
+    /// budget. Legitimate encoders emit chains a fraction of this deep;
+    /// the budget bounds the work one hostile name can demand.
+    PointerChainTooDeep {
+        /// Hops followed when the budget ran out.
+        hops: usize,
     },
     /// A label type other than `00` (literal) or `11` (pointer) was seen.
     UnsupportedLabelType(u8),
@@ -59,6 +66,9 @@ impl fmt::Display for WireError {
             WireError::EmptyName => write!(f, "empty name where a hostname is required"),
             WireError::BadPointer { target } => {
                 write!(f, "invalid compression pointer to offset {target}")
+            }
+            WireError::PointerChainTooDeep { hops } => {
+                write!(f, "compression pointer chain exceeded {hops} hops")
             }
             WireError::UnsupportedLabelType(t) => {
                 write!(f, "unsupported label type bits {t:#04b}")

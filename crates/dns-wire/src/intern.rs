@@ -10,11 +10,15 @@
 //! short parent walk — the same trick production resolvers (Unbound,
 //! BIND) use for their name trees.
 //!
-//! Identity follows `Name::canonical()` byte equality exactly — the key
-//! scheme the caches used before interning existed — so a lookup of a
-//! never-interned name ([`NameId::lookup`]) costs one deterministic FNV
-//! pass over the borrowed labels plus a bucket probe: no allocation, no
-//! table growth.
+//! Identity follows case-folded *label structure*: ids are keyed on
+//! length-framed lowercased labels, which agrees with
+//! `Name::canonical()` string equality for every name whose labels are
+//! free of dot octets (all names `Name::parse` can build) and stays
+//! faithful to `Name::eq` even for hostile wire-decoded labels that
+//! embed dots — `["a.b"]` and `["a", "b"]` get distinct ids. A lookup
+//! of a never-interned name ([`NameId::lookup`]) costs one
+//! deterministic FNV pass over the borrowed labels plus a bucket probe:
+//! no allocation, no table growth.
 
 use crate::name::Name;
 use std::collections::HashMap;
@@ -31,8 +35,13 @@ pub struct NameId(u32);
 const NO_PARENT: u32 = u32::MAX;
 
 struct Entry {
-    /// Canonical presentation bytes: lowercased labels, each followed by
-    /// a dot. Empty for the root.
+    /// Canonical *framed* label bytes: each label stored as a length
+    /// octet followed by its lowercased bytes (labels are ≤ 63 octets,
+    /// so a `u8` length always fits). Empty for the root. Framing —
+    /// rather than joining labels with `.` — keeps identity faithful to
+    /// label structure even for hostile labels that themselves contain
+    /// dot octets: `["a.b"]` and `["a", "b"]` frame differently but
+    /// would print identically.
     canon: Box<[u8]>,
     parent: u32,
     label_count: u16,
@@ -78,37 +87,42 @@ fn table_write() -> std::sync::RwLockWriteGuard<'static, Tables> {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// FNV-1a over the canonical bytes of a label slice, computed without
-/// materialising them. A hand-rolled deterministic hash (rather than the
-/// std `RandomState`) lets the bucket map be probed from borrowed labels.
+/// FNV-1a over the canonical framed bytes of a label slice, computed
+/// without materialising them. A hand-rolled deterministic hash (rather
+/// than the std `RandomState`) lets the bucket map be probed from
+/// borrowed labels. Hashing the length octet before each label's bytes
+/// mirrors the framed `Entry::canon` layout, so structurally distinct
+/// label vectors hash (and compare) distinctly.
 fn fnv_labels(labels: &[Vec<u8>]) -> u64 {
     let mut h = FNV_OFFSET;
     for l in labels {
+        h = (h ^ (l.len() as u64)).wrapping_mul(FNV_PRIME);
         for &b in l {
             h = (h ^ u64::from(b.to_ascii_lowercase())).wrapping_mul(FNV_PRIME);
         }
-        h = (h ^ u64::from(b'.')).wrapping_mul(FNV_PRIME);
     }
     h
 }
 
-/// True when `canon` equals the canonical bytes of `labels`.
+/// True when `canon` equals the canonical framed bytes of `labels`.
 // detlint: allow-item(hot-index) — every index below is guarded by the
-// preceding `end >= canon.len()` short-circuit in the same condition.
+// preceding `end > canon.len()` / `pos >= canon.len()` short-circuit in
+// the same condition.
 fn canon_matches(canon: &[u8], labels: &[Vec<u8>]) -> bool {
     let mut pos = 0;
     for l in labels {
-        let end = pos + l.len();
-        if end >= canon.len()
-            || !canon[pos..end]
+        let end = pos + 1 + l.len();
+        if pos >= canon.len()
+            || end > canon.len()
+            || usize::from(canon[pos]) != l.len()
+            || !canon[pos + 1..end]
                 .iter()
                 .zip(l.iter())
                 .all(|(&c, &b)| c == b.to_ascii_lowercase())
-            || canon[end] != b'.'
         {
             return false;
         }
-        pos = end + 1;
+        pos = end;
     }
     pos == canon.len()
 }
@@ -140,8 +154,8 @@ impl Tables {
                     let mut canon =
                         Vec::with_capacity(suffix.iter().map(|l| l.len() + 1).sum());
                     for l in suffix {
+                        canon.push(l.len() as u8);
                         canon.extend(l.iter().map(|b| b.to_ascii_lowercase()));
-                        canon.push(b'.');
                     }
                     // detlint: allow(hot-panic) — 2^32 interned names means
                     // the workload itself is broken; a capacity abort beats
@@ -223,15 +237,26 @@ impl NameId {
     }
 
     /// Canonical presentation of the interned name (allocates; debugging
-    /// and display only — never on the hot path).
+    /// and display only — never on the hot path). Rebuilt from the
+    /// framed storage, matching [`Name::canonical`] for any name whose
+    /// labels contain no dot octets.
     pub fn canonical(self) -> String {
         let t = table_read();
         let canon = &t.entries[self.0 as usize].canon;
         if canon.is_empty() {
-            ".".to_string()
-        } else {
-            String::from_utf8_lossy(canon).into_owned()
+            return ".".to_string();
         }
+        let mut s = String::with_capacity(canon.len());
+        let mut pos = 0;
+        while let Some(&len) = canon.get(pos) {
+            let end = pos + 1 + usize::from(len);
+            for &b in canon.get(pos + 1..end).unwrap_or(&[]) {
+                s.push(b as char);
+            }
+            s.push('.');
+            pos = end;
+        }
+        s
     }
 }
 
@@ -338,5 +363,31 @@ mod tests {
     fn canonical_roundtrip() {
         let name = n("CDN0.Agoda.NET");
         assert_eq!(NameId::intern(&name).canonical(), name.canonical());
+    }
+
+    #[test]
+    fn dot_bearing_label_does_not_collide_with_split_labels() {
+        // Wire-decoded names may carry labels containing literal dot
+        // octets; `["a.b", "zz-intern-dot"]` must not intern to the same
+        // id as `["a", "b", "zz-intern-dot"]` even though both print as
+        // "a.b.zz-intern-dot.".
+        use crate::wire::Reader;
+        let embedded = [
+            3, b'a', b'.', b'b', 13, b'z', b'z', b'-', b'i', b'n', b't', b'e', b'r', b'n',
+            b'-', b'd', b'o', b't', 0,
+        ];
+        let split = [
+            1, b'a', 1, b'b', 13, b'z', b'z', b'-', b'i', b'n', b't', b'e', b'r', b'n',
+            b'-', b'd', b'o', b't', 0,
+        ];
+        let a = Name::decode(&mut Reader::new(&embedded)).unwrap();
+        let b = Name::decode(&mut Reader::new(&split)).unwrap();
+        assert_ne!(a, b, "Name equality distinguishes label structure");
+        assert_ne!(
+            NameId::intern(&a),
+            NameId::intern(&b),
+            "id-space identity must match Name equality, not display"
+        );
+        assert_eq!(a.id(), a.lookup_id().unwrap());
     }
 }

@@ -164,15 +164,19 @@ impl Message {
     pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = Reader::new(buf);
         let (header, [qd, an, ns, ar]) = Header::decode(&mut r)?;
-        let mut questions = Vec::with_capacity(usize::from(qd));
+        // Preallocation is clamped by what the remaining bytes could
+        // possibly hold (a question is ≥ 5 bytes, a record ≥ 11), so a
+        // header lying about its counts cannot demand unbounded memory
+        // before the per-entry decode loop notices the truncation.
+        let mut questions = Vec::with_capacity(clamp_count(qd, r.remaining(), 5));
         for _ in 0..qd {
             questions.push(Question::decode(&mut r).map_err(|e| remap_count(e, "question"))?);
         }
-        let mut answers = Vec::with_capacity(usize::from(an));
+        let mut answers = Vec::with_capacity(clamp_count(an, r.remaining(), 11));
         for _ in 0..an {
             answers.push(Record::decode(&mut r).map_err(|e| remap_count(e, "answer"))?);
         }
-        let mut authorities = Vec::with_capacity(usize::from(ns));
+        let mut authorities = Vec::with_capacity(clamp_count(ns, r.remaining(), 11));
         for _ in 0..ns {
             authorities.push(Record::decode(&mut r).map_err(|e| remap_count(e, "authority"))?);
         }
@@ -195,6 +199,12 @@ impl Message {
             edns,
         })
     }
+}
+
+/// Caps a declared section count by the number of entries of at least
+/// `min_entry_bytes` that could fit in the `remaining` input bytes.
+fn clamp_count(declared: u16, remaining: usize, min_entry_bytes: usize) -> usize {
+    usize::from(declared).min(remaining / min_entry_bytes)
 }
 
 /// Converts a truncation error inside a counted section into the clearer
@@ -320,6 +330,25 @@ mod tests {
             Message::decode(&bytes),
             Err(WireError::CountMismatch("question"))
         );
+    }
+
+    #[test]
+    fn lying_counts_in_tiny_message_fail_without_allocating() {
+        // All four counts claim 0xFFFF entries with a 13-byte message.
+        // The clamp keeps preallocation at ≤ remaining/min-entry-size
+        // (here ≤ 2) and the decode loop reports the mismatch.
+        let mut bytes = vec![0u8; 13];
+        for off in [4, 6, 8, 10] {
+            bytes[off] = 0xFF;
+            bytes[off + 1] = 0xFF;
+        }
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::CountMismatch("question"))
+        );
+        assert_eq!(clamp_count(0xFFFF, 13, 5), 2);
+        assert_eq!(clamp_count(0xFFFF, 4, 11), 0);
+        assert_eq!(clamp_count(1, 500, 5), 1);
     }
 
     #[test]

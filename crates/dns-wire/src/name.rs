@@ -13,9 +13,12 @@ pub const MAX_NAME_LEN: usize = 255;
 /// least two octets (length + one byte) and the root octet closes the
 /// name, so ⌊(255 − 1) / 2⌋.
 pub const MAX_LABELS: usize = (MAX_NAME_LEN - 1) / 2;
-/// Maximum number of compression pointers the decoder will follow. Any
-/// legitimate name fits in far fewer; the cap defeats pointer loops.
-const MAX_POINTER_HOPS: usize = 32;
+/// Maximum number of compression pointers the decoder will follow — the
+/// pointer half of the decode step budget. Pointers must also point
+/// strictly backwards (see [`Name::decode`]), so any legitimate name
+/// fits in far fewer hops; the cap bounds ping-pong chains a hostile
+/// message can still construct inside already-read bytes.
+pub const MAX_POINTER_HOPS: usize = 32;
 
 /// A fully-qualified domain name, stored as a sequence of labels.
 ///
@@ -224,8 +227,26 @@ impl Name {
 
     /// Decodes a (possibly compressed) name, leaving the reader positioned
     /// just past the name's first occurrence in the stream.
+    ///
+    /// The decoder enforces an explicit step budget so the work (and
+    /// allocation) one name can demand is bounded no matter what the
+    /// message contains:
+    ///
+    /// * every compression pointer must point **strictly backwards** —
+    ///   before the first byte of the pointer itself — which rules out
+    ///   self-pointers and forward pointers outright (they are the raw
+    ///   material of decompression loops);
+    /// * at most [`MAX_POINTER_HOPS`] pointers are followed, defeating
+    ///   ping-pong chains built inside already-read bytes
+    ///   ([`WireError::PointerChainTooDeep`]);
+    /// * accumulated label octets are checked against the 255-octet name
+    ///   limit *as they are read*, so a hostile message can never make
+    ///   the decoder buffer more than [`MAX_NAME_LEN`] octets.
     pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let mut labels: Vec<Vec<u8>> = Vec::new();
+        // Accumulated encoded length (length octet + label octets per
+        // label, plus the closing root octet).
+        let mut octets = 1usize;
         let mut hops = 0usize;
         // After the first pointer we read from a clone so the caller's
         // cursor stays just past the pointer.
@@ -238,6 +259,10 @@ impl Name {
                     if len == 0 {
                         break;
                     }
+                    octets += 1 + usize::from(len);
+                    if octets > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(octets));
+                    }
                     let bytes = cursor.read_bytes(len as usize, "name label")?;
                     labels.push(bytes.to_vec());
                     if !jumped {
@@ -247,16 +272,19 @@ impl Name {
                 0xC0 => {
                     let lo = cursor.read_u8("compression pointer")?;
                     let target = usize::from(len & 0x3F) << 8 | usize::from(lo);
+                    // Offset of the pointer's own first byte; the target
+                    // must land strictly before it.
+                    let ptr_at = cursor.position().saturating_sub(2);
                     if !jumped {
                         *r = cursor.clone();
                         jumped = true;
                     }
+                    if target >= ptr_at {
+                        return Err(WireError::BadPointer { target });
+                    }
                     hops += 1;
-                    if hops > MAX_POINTER_HOPS || target >= cursor.position().saturating_sub(2) {
-                        // Pointers must point strictly backwards.
-                        if target >= cursor.message().len() || hops > MAX_POINTER_HOPS {
-                            return Err(WireError::BadPointer { target });
-                        }
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::PointerChainTooDeep { hops });
                     }
                     cursor.seek(target)?;
                 }
@@ -478,17 +506,125 @@ mod tests {
 
     #[test]
     fn decode_rejects_pointer_loop() {
-        // A pointer at offset 0 pointing to itself.
+        // A pointer at offset 0 pointing to itself: not strictly
+        // backwards, so it is refused before it can spin.
         let buf = [0xC0, 0x00];
         let mut r = Reader::new(&buf);
-        assert!(Name::decode(&mut r).is_err());
+        assert_eq!(
+            Name::decode(&mut r),
+            Err(WireError::BadPointer { target: 0 })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_two_pointer_loop() {
+        // ptr@0 -> 2, ptr@2 -> 0. Any loop needs at least one forward
+        // (or self) edge, and the very first pointer here is forward.
+        let buf = [0xC0, 0x02, 0xC0, 0x00];
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            Name::decode(&mut r),
+            Err(WireError::BadPointer { target: 2 })
+        );
     }
 
     #[test]
     fn decode_rejects_forward_pointer_out_of_range() {
         let buf = [0xC0, 0x7F];
         let mut r = Reader::new(&buf);
-        assert!(Name::decode(&mut r).is_err());
+        assert_eq!(
+            Name::decode(&mut r),
+            Err(WireError::BadPointer { target: 0x7F })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_in_bounds_forward_pointer() {
+        // A label, then a pointer to a valid name *later* in the
+        // message. In-bounds, decodable in principle — still refused:
+        // pointers must point strictly backwards.
+        let buf = [0x01, b'a', 0xC0, 0x04, 0x01, b'b', 0x00];
+        let mut r = Reader::new(&buf);
+        r.seek(2).unwrap();
+        assert_eq!(
+            Name::decode(&mut r),
+            Err(WireError::BadPointer { target: 4 })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_pointer_past_message_end() {
+        // A name at offset 3 whose pointer targets offset 0x3FF, far
+        // past the 7-byte message. (With the strictly-backwards rule a
+        // past-the-end target can never also be before the pointer, so
+        // this reports as the same BadPointer the loop cases get.)
+        let buf = [0x01, b'a', 0x00, 0x01, b'b', 0xC3, 0xFF];
+        let mut r = Reader::new(&buf);
+        r.seek(3).unwrap();
+        assert_eq!(
+            Name::decode(&mut r),
+            Err(WireError::BadPointer { target: 0x3FF })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_chain_deeper_than_step_budget() {
+        // Root at offset 0, then a chain of strictly-backward pointers
+        // each targeting the previous one: every hop is legal in
+        // isolation, but the chain is deeper than the decode budget.
+        let mut buf = vec![0x00];
+        for k in 0..(MAX_POINTER_HOPS + 4) {
+            let target = if k == 0 { 0 } else { 1 + 2 * (k - 1) };
+            buf.push(0xC0 | (target >> 8) as u8);
+            buf.push(target as u8);
+        }
+        let start = buf.len() - 2;
+        let mut r = Reader::new(&buf);
+        r.seek(start).unwrap();
+        assert_eq!(
+            Name::decode(&mut r),
+            Err(WireError::PointerChainTooDeep {
+                hops: MAX_POINTER_HOPS + 1
+            })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_overlong_name_as_it_accumulates() {
+        // Five 63-octet labels exceed the 255-octet name limit; the
+        // decoder notices while reading the fifth label's length octet,
+        // before buffering the payload.
+        let mut buf = Vec::new();
+        for _ in 0..5 {
+            buf.push(63);
+            buf.extend(std::iter::repeat(b'x').take(63));
+        }
+        buf.push(0);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            Name::decode(&mut r),
+            Err(WireError::NameTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn decode_accepts_max_length_label_rejects_label_type_64() {
+        // 63 is the largest literal label; 64 sets the reserved 0b01
+        // type bits and must be refused as an unsupported label type.
+        let mut ok = vec![63];
+        ok.extend(std::iter::repeat(b'y').take(63));
+        ok.push(0);
+        let mut r = Reader::new(&ok);
+        let name = Name::decode(&mut r).unwrap();
+        assert_eq!(name.label_count(), 1);
+        assert_eq!(name.encoded_len(), 65);
+
+        let bad = [64, b'z', 0x00];
+        let mut r = Reader::new(&bad);
+        assert_eq!(
+            Name::decode(&mut r),
+            Err(WireError::UnsupportedLabelType(0b01))
+        );
     }
 
     #[test]

@@ -121,19 +121,19 @@ impl FromStr for Record {
                 }
                 // Re-join and split on quotes; bare tokens are strings too.
                 let joined = rest.join(" ");
-                let mut strings = Vec::new();
+                let mut strings: Vec<Vec<u8>> = Vec::new();
                 if joined.contains('"') {
                     let mut in_quote = false;
-                    let mut current = String::new();
-                    for ch in joined.chars() {
-                        match ch {
-                            '"' => {
+                    let mut current = Vec::new();
+                    for &b in joined.as_bytes() {
+                        match b {
+                            b'"' => {
                                 if in_quote {
                                     strings.push(std::mem::take(&mut current));
                                 }
                                 in_quote = !in_quote;
                             }
-                            _ if in_quote => current.push(ch),
+                            _ if in_quote => current.push(b),
                             _ => {}
                         }
                     }
@@ -141,7 +141,7 @@ impl FromStr for Record {
                         return Err(err("unterminated TXT quote"));
                     }
                 } else {
-                    strings.extend(rest.iter().map(|s| s.to_string()));
+                    strings.extend(rest.iter().map(|s| s.as_bytes().to_vec()));
                 }
                 RData::Txt(strings)
             }
@@ -218,10 +218,13 @@ mod tests {
         let r = parse(r#"t.test. 60 IN TXT "hello world" "second""#);
         assert_eq!(
             r.rdata,
-            RData::Txt(vec!["hello world".into(), "second".into()])
+            RData::Txt(vec![b"hello world".to_vec(), b"second".to_vec()])
         );
         let r = parse("t.test. 60 IN TXT bare token");
-        assert_eq!(r.rdata, RData::Txt(vec!["bare".into(), "token".into()]));
+        assert_eq!(
+            r.rdata,
+            RData::Txt(vec![b"bare".to_vec(), b"token".to_vec()])
+        );
     }
 
     #[test]

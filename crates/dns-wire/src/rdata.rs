@@ -33,8 +33,10 @@ pub enum RData {
         /// Mail host.
         exchange: Name,
     },
-    /// One or more character-strings.
-    Txt(Vec<String>),
+    /// One or more character-strings, kept as raw octets. TXT data is
+    /// not guaranteed to be UTF-8 on the wire, and converting through
+    /// `String` would make decode→encode lossy for arbitrary bytes.
+    Txt(Vec<Vec<u8>>),
     /// Start of authority.
     Soa {
         /// Primary name server.
@@ -109,6 +111,16 @@ impl RData {
         }
     }
 
+    /// Returns the raw option block for `OPT` pseudo-records, or `None`
+    /// for every other variant — the panic-free accessor
+    /// [`crate::edns::Opt::from_record`] builds on.
+    pub fn as_opt_raw(&self) -> Option<&[u8]> {
+        match self {
+            RData::OptRaw(data) => Some(data),
+            _ => None,
+        }
+    }
+
     /// Encodes the record data (without the RDLENGTH prefix).
     pub fn encode(&self, w: &mut Writer) -> Result<(), WireError> {
         match self {
@@ -128,7 +140,7 @@ impl RData {
                         return Err(WireError::CharacterStringTooLong(s.len()));
                     }
                     w.write_u8(s.len() as u8);
-                    w.write_bytes(s.as_bytes());
+                    w.write_bytes(s);
                 }
             }
             RData::Soa {
@@ -169,7 +181,9 @@ impl RData {
         match rrtype {
             RrType::A => {
                 let b = r.read_bytes(4, "A rdata")?;
-                Ok(RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3])))
+                let mut o = [0u8; 4];
+                o.copy_from_slice(b);
+                Ok(RData::A(Ipv4Addr::from(o)))
             }
             RrType::Aaaa => {
                 let b = r.read_bytes(16, "AAAA rdata")?;
@@ -190,7 +204,7 @@ impl RData {
                 while r.position() < end {
                     let len = usize::from(r.read_u8("TXT length")?);
                     let bytes = r.read_bytes(len, "TXT string")?;
-                    out.push(String::from_utf8_lossy(bytes).into_owned());
+                    out.push(bytes.to_vec());
                 }
                 Ok(RData::Txt(out))
             }
@@ -245,7 +259,17 @@ impl fmt::Display for RData {
                         write!(f, " ")?;
                     }
                     first = false;
-                    write!(f, "\"{s}\"")?;
+                    write!(f, "\"")?;
+                    for &b in s {
+                        match b {
+                            b'"' | b'\\' => write!(f, "\\{}", b as char)?,
+                            0x20..=0x7E => write!(f, "{}", b as char)?,
+                            // RFC 1035 §5.1 decimal escape for
+                            // non-printable octets.
+                            _ => write!(f, "\\{b:03}")?,
+                        }
+                    }
+                    write!(f, "\"")?;
                 }
                 Ok(())
             }
@@ -292,7 +316,8 @@ mod tests {
         for rd in [
             RData::A(Ipv4Addr::new(151, 101, 1, 1)),
             RData::Aaaa("2001:db8::1".parse().unwrap()),
-            RData::Txt(vec!["hello".into(), "world".into()]),
+            RData::Txt(vec![b"hello".to_vec(), b"world".to_vec()]),
+            RData::Txt(vec![vec![0x00, 0xFF, 0x80], Vec::new()]),
             RData::Unknown {
                 rrtype: 4711,
                 data: vec![1, 2, 3],
@@ -351,7 +376,7 @@ mod tests {
 
     #[test]
     fn txt_rejects_overlong_string() {
-        let rd = RData::Txt(vec!["x".repeat(256)]);
+        let rd = RData::Txt(vec![vec![b'x'; 256]]);
         let mut w = Writer::new();
         assert!(matches!(
             rd.encode(&mut w),
@@ -367,14 +392,23 @@ mod tests {
         let c = RData::Cname(Name::parse("x.y").unwrap());
         assert_eq!(c.as_cname().unwrap().to_string(), "x.y.");
         assert!(c.as_a().is_none());
+        let o = RData::OptRaw(vec![0, 8, 0, 0]);
+        assert_eq!(o.as_opt_raw(), Some(&[0u8, 8, 0, 0][..]));
+        assert!(c.as_opt_raw().is_none());
     }
 
     #[test]
     fn display_formats() {
         assert_eq!(RData::A(Ipv4Addr::new(1, 2, 3, 4)).to_string(), "1.2.3.4");
         assert_eq!(
-            RData::Txt(vec!["a".into(), "b".into()]).to_string(),
+            RData::Txt(vec![b"a".to_vec(), b"b".to_vec()]).to_string(),
             "\"a\" \"b\""
+        );
+        // Non-printable octets escape as \DDD, quotes and backslashes
+        // with a single backslash.
+        assert_eq!(
+            RData::Txt(vec![vec![0x00, b'"', b'\\', 0xFF, b'z']]).to_string(),
+            "\"\\000\\\"\\\\\\255z\""
         );
     }
 }

@@ -30,7 +30,8 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
             preference,
             exchange
         }),
-        proptest::collection::vec("[ -~]{0,40}", 0..4).prop_map(RData::Txt),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..4)
+            .prop_map(RData::Txt),
         (arb_name(), arb_name(), any::<u32>(), any::<u32>()).prop_map(
             |(mname, rname, serial, refresh)| RData::Soa {
                 mname,
@@ -200,6 +201,125 @@ proptest! {
         }
         prop_assert!(len <= upper, "len {} > upper {}", len, upper);
     }
+}
+
+/// Name-bearing rdata over a shared suffix pool: these names compress
+/// against the qname and each other, so the pointers land *inside*
+/// rdata — the path plain `arb_name` (random labels, no shared
+/// suffixes) almost never exercises.
+fn arb_compressible_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        arb_shared_suffix_name().prop_map(RData::Cname),
+        arb_shared_suffix_name().prop_map(RData::Ns),
+        arb_shared_suffix_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_shared_suffix_name())
+            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        (any::<u16>(), any::<u16>(), any::<u16>(), arb_shared_suffix_name()).prop_map(
+            |(priority, weight, port, target)| RData::Srv {
+                priority,
+                weight,
+                port,
+                target
+            }
+        ),
+        (arb_shared_suffix_name(), arb_shared_suffix_name()).prop_map(|(mname, rname)| {
+            RData::Soa {
+                mname,
+                rname,
+                serial: 7,
+                refresh: 3600,
+                retry: 900,
+                expire: 86400,
+                minimum: 60,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn name_bearing_rdata_roundtrips_under_compression(
+        qname in arb_shared_suffix_name(),
+        rdatas in proptest::collection::vec(arb_compressible_rdata(), 1..6),
+    ) {
+        let mut m = Message::query(9, qname.clone(), RrType::A);
+        m.answers = rdatas
+            .into_iter()
+            .map(|rd| Record::new(qname.clone(), RrClass::In, 60, rd))
+            .collect();
+        let bytes = m.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &m);
+        // Compression must be deterministic end to end.
+        prop_assert_eq!(back.encode().unwrap(), bytes);
+    }
+}
+
+/// One record of every rdata type this crate models, all names drawn
+/// from one suffix family so the encoder compresses across sections and
+/// into rdata. Deterministic companion to the probabilistic strategies:
+/// no type can dodge coverage by sampling luck.
+#[test]
+fn every_rdata_type_roundtrips_in_one_compressed_message() {
+    let n = |s: &str| Name::parse(s).unwrap();
+    let owner = n("svc.edge.example.com");
+    let rdatas = vec![
+        RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        RData::Aaaa(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1)),
+        RData::Cname(n("origin.edge.example.com")),
+        RData::Ns(n("ns1.example.com")),
+        RData::Ptr(n("svc.edge.example.com")),
+        RData::Mx {
+            preference: 10,
+            exchange: n("mx.example.com"),
+        },
+        RData::Txt(vec![b"edge".to_vec(), vec![0x00, 0xFF]]),
+        RData::Soa {
+            mname: n("ns1.example.com"),
+            rname: n("hostmaster.example.com"),
+            serial: 2024,
+            refresh: 3600,
+            retry: 900,
+            expire: 86400,
+            minimum: 60,
+        },
+        RData::Srv {
+            priority: 0,
+            weight: 5,
+            port: 443,
+            target: n("pop1.edge.example.com"),
+        },
+        RData::Unknown {
+            rrtype: 3500,
+            data: vec![1, 2, 3],
+        },
+    ];
+    assert_eq!(rdatas.len(), 10, "one record per modelled rdata type");
+    let mut m = Message::query(7, owner.clone(), RrType::A);
+    let mut standalone = 0usize;
+    m.answers = rdatas
+        .into_iter()
+        .map(|rd| Record::new(owner.clone(), RrClass::In, 60, rd))
+        .collect();
+    for rec in &m.answers {
+        let mut w = dns_wire::wire::Writer::new();
+        rec.encode(&mut w).unwrap();
+        standalone += w.finish().unwrap().len();
+    }
+    let bytes = m.encode().unwrap();
+    let back = Message::decode(&bytes).unwrap();
+    assert_eq!(back, m);
+    assert_eq!(back.encode().unwrap(), bytes);
+    // The shared suffixes must actually have compressed: the message
+    // body is strictly smaller than the records encoded standalone.
+    assert!(
+        bytes.len() - 12 < standalone + owner.encoded_len() + 4,
+        "no compression happened: {} vs {}",
+        bytes.len(),
+        standalone
+    );
 }
 
 #[test]
