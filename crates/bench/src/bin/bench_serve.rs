@@ -1,0 +1,202 @@
+//! Serving throughput: the `mecdnsd` UDP fleet under its closed-loop
+//! load generator, over loopback, emitted as `BENCH_serve.json` and
+//! committed at the repo root next to `BENCH_hotpath.json`.
+//!
+//! Unlike the simulator benchmarks this one measures a real transport,
+//! so absolute numbers move with the host; the committed artifact
+//! records the shape (QPS order of magnitude, p50/p99 spread, zero
+//! error counts), and `--check` gates only on invariants that hold on
+//! any machine: every datagram parses, every query is answered
+//! NOERROR, nothing truncates, throughput is nonzero.
+//!
+//! ```text
+//! bench_serve [--quick] [--out PATH] [--check BASELINE]
+//! ```
+//!
+//! * `--quick` — reduced query count, for CI.
+//! * `--out PATH` — where to write the JSON (default `BENCH_serve.json`).
+//! * `--check BASELINE` — verify the committed baseline parses with the
+//!   same schema, then enforce the run invariants; exit non-zero on any
+//!   violation.
+
+use mecdnsd::{loadgen, serve, LoadgenConfig, ServeConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Setup {
+    shards: usize,
+    clients: usize,
+    queries: u64,
+    names: usize,
+    alpha: f64,
+    seed: u64,
+}
+
+#[derive(Serialize)]
+struct ClientSide {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    sent: u64,
+    received: u64,
+    timeouts: u64,
+    decode_errors: u64,
+    truncated: u64,
+}
+
+#[derive(Serialize)]
+struct ServerSide {
+    queries: u64,
+    responses: u64,
+    p50_us: f64,
+    p99_us: f64,
+    noerror: u64,
+    nxdomain: u64,
+    servfail: u64,
+    refused: u64,
+    decode_errors: u64,
+    encode_errors: u64,
+    truncated: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    quick: bool,
+    setup: Setup,
+    client: ClientSide,
+    server: ServerSide,
+}
+
+const SCHEMA: &str = "bench-serve/v1";
+
+fn run(quick: bool) -> Report {
+    let setup = Setup {
+        shards: 2,
+        clients: 8,
+        queries: if quick { 10_000 } else { 100_000 },
+        names: 512,
+        alpha: 1.1,
+        seed: 2020,
+    };
+    let handle = serve::spawn(ServeConfig {
+        shards: setup.shards,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback sockets");
+    let load = LoadgenConfig {
+        targets: handle.local_addrs().to_vec(),
+        queries: setup.queries,
+        clients: setup.clients,
+        names: setup.names,
+        alpha: setup.alpha,
+        seed: setup.seed,
+        ..LoadgenConfig::default()
+    };
+    let client = loadgen::run(&load).expect("loadgen run");
+    let server = handle.stop();
+
+    let us = |ns: Option<u64>| ns.unwrap_or(0) as f64 / 1e3;
+    Report {
+        schema: SCHEMA,
+        quick,
+        client: ClientSide {
+            qps: client.qps(),
+            p50_us: us(client.percentile_ns(0.50)),
+            p99_us: us(client.percentile_ns(0.99)),
+            sent: client.sent,
+            received: client.received,
+            timeouts: client.timeouts,
+            decode_errors: client.decode_errors,
+            truncated: client.truncated,
+        },
+        server: ServerSide {
+            queries: server.queries,
+            responses: server.responses,
+            p50_us: us(server.latency_percentile_ns(0.50)),
+            p99_us: us(server.latency_percentile_ns(0.99)),
+            noerror: server.rcodes.noerror,
+            nxdomain: server.rcodes.nxdomain,
+            servfail: server.rcodes.servfail,
+            refused: server.rcodes.refused,
+            decode_errors: server.decode_errors,
+            encode_errors: server.encode_errors,
+            truncated: server.truncated,
+            cache_hits: server.metrics.counter("dns.cache.hit"),
+            cache_misses: server.metrics.counter("dns.cache.miss"),
+        },
+        setup,
+    }
+}
+
+fn check(report: &Report, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let base = serde_json::parse_value(&text).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    let serde_json::Value::Object(members) = &base else {
+        return Err("baseline is not an object".into());
+    };
+    match members.iter().find(|(k, _)| k == "schema") {
+        Some((_, serde_json::Value::Str(s))) if s == SCHEMA => {}
+        other => return Err(format!("baseline schema mismatch: {other:?}")),
+    }
+    if report.client.decode_errors != 0 || report.server.decode_errors != 0 {
+        return Err(format!(
+            "decode errors on a clean loopback run: client {} server {}",
+            report.client.decode_errors, report.server.decode_errors
+        ));
+    }
+    if report.server.noerror != report.server.queries {
+        return Err(format!(
+            "{} of {} queries did not resolve NOERROR",
+            report.server.queries - report.server.noerror,
+            report.server.queries
+        ));
+    }
+    if report.server.truncated != 0 {
+        return Err(format!(
+            "{} responses truncated under single-answer load",
+            report.server.truncated
+        ));
+    }
+    if report.client.received == 0 || report.client.qps <= 0.0 {
+        return Err("zero throughput".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    // detlint: allow(env-read) — CLI of a measurement harness, outside
+    // any simulation.
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let baseline = flag_value("--check");
+
+    let report = run(quick);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    eprintln!("{json}");
+
+    if let Some(path) = baseline {
+        if let Err(msg) = check(&report, &path) {
+            eprintln!("bench_serve: FAIL: {msg}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_serve: OK ({:.0} qps, p50 {:.1}us, all NOERROR)",
+            report.client.qps, report.client.p50_us
+        );
+        return;
+    }
+
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!("wrote {out}");
+}

@@ -31,6 +31,8 @@
 //!   lookup and that too with limited accuracy").
 //! * [`client::FetchEngine`] — the client side of the content protocol,
 //!   measuring time-to-content.
+//! * [`serve::ServeTopology`] — the canonical co-located L-DNS + C-DNS
+//!   wiring the `mecdnsd` binary serves on real UDP sockets.
 //!
 //! # Modelling note
 //!
@@ -47,6 +49,7 @@ pub mod geo;
 pub mod origin;
 pub mod protocol;
 pub mod router;
+pub mod serve;
 pub mod tier;
 
 pub use cache::CacheServer;
@@ -56,4 +59,5 @@ pub use content::{Catalog, ContentIndex};
 pub use geo::GeoDb;
 pub use origin::Origin;
 pub use router::{Selection, TrafficRouterPlugin};
+pub use serve::ServeTopology;
 pub use tier::{CdnHierarchy, TierSpec};

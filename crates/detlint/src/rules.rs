@@ -118,7 +118,11 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/dns-server/src/cache.rs",
     "crates/dns-server/src/stub.rs",
     "crates/dns-server/src/plugins.rs",
+    "crates/dns-server/src/engine.rs",
     "crates/netsim/src/network.rs",
+    // The UDP serving loop: hostile datagrams hit this before anything
+    // else, and a panic there takes a shard down.
+    "crates/mecdnsd/src/serve.rs",
 ];
 
 /// The workspace policy: which rules apply to a file, by its
@@ -178,6 +182,13 @@ mod tests {
             "crates/dns-wire/src/edns.rs",
             "crates/dns-wire/src/error.rs",
         ] {
+            assert!(rules_for_path(f).contains(&RuleId::HotIndex), "{f}");
+        }
+        for f in [
+            "crates/dns-server/src/engine.rs",
+            "crates/mecdnsd/src/serve.rs",
+        ] {
+            assert!(rules_for_path(f).contains(&RuleId::HotPanic), "{f}");
             assert!(rules_for_path(f).contains(&RuleId::HotIndex), "{f}");
         }
         let fuzz = rules_for_path("crates/dns-fuzz/src/report.rs");

@@ -11,7 +11,7 @@ use crate::rng::FuzzRng;
 
 /// Produces one structured hostile input.
 pub fn mutate(rng: &mut FuzzRng, corpus: &[Vec<u8>]) -> Vec<u8> {
-    let mut out = match rng.below(8) {
+    let mut out = match rng.below(9) {
         0 => mangle_counts(rng, corpus),
         1 => inject_pointer(rng, corpus),
         2 => pointer_chain(rng),
@@ -19,6 +19,7 @@ pub fn mutate(rng: &mut FuzzRng, corpus: &[Vec<u8>]) -> Vec<u8> {
         4 => ecs_mismatch(rng),
         5 => label_edge(rng),
         6 => truncate_mid_rr(rng, corpus),
+        7 => oversized_response(rng),
         _ => txt_length_lies(rng),
     };
     out.truncate(MAX_INPUT_LEN);
@@ -208,6 +209,31 @@ fn truncate_mid_rr(rng: &mut FuzzRng, corpus: &[Vec<u8>]) -> Vec<u8> {
     buf
 }
 
+/// A perfectly *valid* response whose answer section grows past a UDP
+/// payload bound: not a decoder attack but an encoder one. Real packets
+/// exposed exactly this class of bug — `encode` silently wrapping
+/// section counts, `encode_bounded` having to drop whole trailing
+/// records and raise TC. The differential oracle decodes these clean;
+/// the dedicated test below pushes them back through the bounded
+/// encoder.
+fn oversized_response(rng: &mut FuzzRng) -> Vec<u8> {
+    // 15 bytes per answer: 20 answers fits the classic 512, 120 blows
+    // past 1232 too.
+    let answers = 20 + rng.below(101);
+    let mut buf = header(rng.u16(), 1, answers as u16, 0, 0);
+    buf[2] = 0x80; // QR: this is a response
+    buf.extend_from_slice(&[0x00, 0, 1, 0, 1]); // question: root A IN
+    for i in 0..answers {
+        buf.push(0x00); // owner: root
+        buf.extend_from_slice(&1u16.to_be_bytes()); // A
+        buf.extend_from_slice(&1u16.to_be_bytes()); // IN
+        buf.extend_from_slice(&60u32.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&[10, 0, (i >> 8) as u8, i as u8]);
+    }
+    buf
+}
+
 /// A TXT record whose character-string lengths overrun the rdata.
 fn txt_length_lies(rng: &mut FuzzRng) -> Vec<u8> {
     let mut buf = header(rng.u16(), 1, 1, 0, 0);
@@ -253,6 +279,34 @@ mod tests {
             let input = mutate(&mut FuzzRng::new(seed), &c);
             let _ = Message::decode(&input);
         }
+    }
+
+    #[test]
+    fn oversized_responses_truncate_cleanly_under_a_payload_bound() {
+        use dns_wire::CLASSIC_UDP_PAYLOAD;
+        // The attack emits valid responses; every draw that overflows
+        // the classic 512-byte budget must come back from the bounded
+        // encoder within budget, decodable, TC set, with an intact
+        // prefix of the answers.
+        let mut overflowed = 0;
+        for seed in 0..64 {
+            let input = oversized_response(&mut FuzzRng::new(seed));
+            let m = Message::decode(&input).expect("attack must build a valid response");
+            let full = m.encode().expect("valid response re-encodes");
+            if full.len() <= CLASSIC_UDP_PAYLOAD {
+                continue;
+            }
+            overflowed += 1;
+            let bounded = m
+                .encode_bounded(CLASSIC_UDP_PAYLOAD)
+                .expect("bounded encode never fails on a fitting question");
+            assert!(bounded.len() <= CLASSIC_UDP_PAYLOAD);
+            let back = Message::decode(&bounded).expect("truncated response must decode");
+            assert!(back.header.truncated, "TC must be set after dropping records");
+            assert!(back.answers.len() < m.answers.len());
+            assert_eq!(&m.answers[..back.answers.len()], &back.answers[..]);
+        }
+        assert!(overflowed > 0, "no draw overflowed the bound in 64 seeds");
     }
 
     #[test]

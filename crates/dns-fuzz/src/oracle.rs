@@ -100,6 +100,7 @@ pub fn variant_name(e: &WireError) -> &'static str {
         WireError::BadClientSubnet(_) => "BadClientSubnet",
         WireError::MessageTooLong(_) => "MessageTooLong",
         WireError::CharacterStringTooLong(_) => "CharacterStringTooLong",
+        WireError::TooManyRecords { .. } => "TooManyRecords",
     }
 }
 

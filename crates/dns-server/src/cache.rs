@@ -41,6 +41,12 @@ use std::sync::Arc;
 /// Null index in the intrusive LRU list.
 const NIL: u32 = u32::MAX;
 
+/// One second in `SimTime` nanoseconds: the smallest remaining lifetime
+/// an entry can be served with. Anything below truncates to TTL 0 on
+/// the wire, which downstream caches treat as uncacheable, so both
+/// cache implementations expire such entries on lookup instead.
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+
 #[derive(Debug, Clone)]
 struct Slot {
     key: (NameId, u16),
@@ -180,8 +186,9 @@ pub struct CacheHit {
     pub records: Arc<[Record]>,
     /// `NoError` for positive entries, the cached rcode otherwise.
     pub rcode: Rcode,
-    /// Whole seconds until expiry, truncated — an entry in its final
-    /// sub-second reports 0 (served but uncacheable downstream).
+    /// Whole seconds until expiry, truncated — never 0: a lookup that
+    /// finds an entry inside its final second expires it instead of
+    /// serving an answer downstream caches would treat as uncacheable.
     pub remaining_ttl: u32,
 }
 
@@ -191,10 +198,11 @@ impl CacheHit {
     pub fn decayed_records(&self) -> impl Iterator<Item = Record> + '_ {
         self.records.iter().map(move |r| {
             let mut r = r.clone();
-            // Serve the truncated remaining lifetime as-is. An entry in
-            // its final sub-second goes out with TTL 0 (uncacheable
-            // downstream) — rounding up to 1 would let downstream caches
-            // outlive the authoritative expiry.
+            // Serve the truncated remaining lifetime as-is: truncation
+            // (never rounding up) keeps downstream caches from outliving
+            // the authoritative expiry, and the lookup already expired
+            // anything with less than a whole second left, so this is
+            // always ≥ 1 for a hit.
             r.ttl = r.ttl.min(self.remaining_ttl);
             r
         })
@@ -352,9 +360,10 @@ impl DnsCache {
     }
 
     /// Looks up an answer without cloning it: on a hit, the shared
-    /// record set plus the remaining lifetime. Expired entries are
-    /// removed in the same (single) map probe. This is the steady-state
-    /// zero-allocation path.
+    /// record set plus the remaining lifetime. Expired entries — and
+    /// entries inside their final second, whose truncated TTL would be
+    /// 0 and therefore uncacheable downstream — are removed in the same
+    /// (single) map probe. This is the steady-state zero-allocation path.
     pub fn get_shared(&mut self, name: &Name, qtype: RrType, now: SimTime) -> Option<CacheHit> {
         let Some(id) = name.lookup_id() else {
             // Never-interned name: nothing was ever stored under it.
@@ -365,12 +374,12 @@ impl DnsCache {
             MapEntry::Occupied(e) => {
                 let i = *e.get();
                 let s = &mut self.store.slots[i as usize];
-                if s.expires > now {
+                let remaining_ns = s.expires.as_nanos().saturating_sub(now.as_nanos());
+                if remaining_ns >= NANOS_PER_SEC {
                     let hit = CacheHit {
                         records: Arc::clone(&s.records),
                         rcode: s.rcode,
-                        remaining_ttl: ((s.expires.as_nanos() - now.as_nanos())
-                            / 1_000_000_000) as u32,
+                        remaining_ttl: (remaining_ns / NANOS_PER_SEC) as u32,
                     };
                     self.store.detach(i);
                     self.store.push_front(i);
@@ -526,7 +535,9 @@ pub mod naive {
             self.entries.insert(k, e);
         }
 
-        /// Looks up an answer, decaying TTLs and removing expired entries.
+        /// Looks up an answer, decaying TTLs and removing expired
+        /// entries — including entries inside their final second, which
+        /// would otherwise be served with an uncacheable TTL of 0.
         pub fn get(
             &mut self,
             name: &Name,
@@ -535,9 +546,13 @@ pub mod naive {
         ) -> Option<(Vec<Record>, Rcode)> {
             let k = key(name, qtype);
             match self.entries.get_mut(&k) {
-                Some(e) if e.expires > now => {
+                Some(e)
+                    if e.expires.as_nanos().saturating_sub(now.as_nanos())
+                        >= super::NANOS_PER_SEC =>
+                {
                     e.last_used = now;
-                    let remaining_secs = (e.expires.as_nanos() - now.as_nanos()) / 1_000_000_000;
+                    let remaining_secs =
+                        (e.expires.as_nanos() - now.as_nanos()) / super::NANOS_PER_SEC;
                     let records: Vec<Record> = e
                         .records
                         .iter()
@@ -634,34 +649,47 @@ mod tests {
     }
 
     #[test]
-    fn boundary_hit_at_one_nano_before_expiry_miss_at_expiry() {
+    fn boundary_hit_with_exactly_one_second_left_miss_past_it() {
         let mut c = DnsCache::new(16);
         c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 30)], at(0));
-        let expires = at(30);
-        let just_before = SimTime::ZERO + SimDuration::from_nanos(expires.as_nanos() - 1);
+        // Exactly one second of life left: the last instant the entry is
+        // servable — and it goes out with TTL 1, never 0.
         let (recs, _) = c
-            .get(&n("a.test"), RrType::A, just_before)
-            .expect("one nanosecond of life left is still a hit");
-        // <1 s remaining truncates to 0: served, but uncacheable downstream.
-        assert_eq!(recs[0].ttl, 0);
+            .get(&n("a.test"), RrType::A, at(29))
+            .expect("a whole second of life left is still a hit");
+        assert_eq!(recs[0].ttl, 1);
+        // One nanosecond later the remainder is sub-second: the entry
+        // expires rather than being served as uncacheable.
+        let inside_final_second = at(29) + SimDuration::from_nanos(1);
         assert!(
-            c.get(&n("a.test"), RrType::A, expires).is_none(),
-            "exactly at expiry must miss"
+            c.get(&n("a.test"), RrType::A, inside_final_second).is_none(),
+            "sub-second remainder must expire, not serve TTL 0"
         );
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses, 1);
     }
 
     #[test]
-    fn final_subsecond_serves_ttl_zero_not_one() {
+    fn final_subsecond_expires_instead_of_serving_ttl_zero() {
         let mut c = DnsCache::new(16);
         c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 5)], at(0));
         let half_sec_left = at(4) + SimDuration::from_millis(500);
-        let (recs, _) = c.get(&n("a.test"), RrType::A, half_sec_left).unwrap();
-        assert_eq!(
-            recs[0].ttl, 0,
-            "remaining TTL must truncate, never round up to 1"
+        assert!(
+            c.get(&n("a.test"), RrType::A, half_sec_left).is_none(),
+            "an answer that would carry TTL 0 must not be served"
         );
+        assert!(c.is_empty(), "the dying entry is removed by the lookup");
+        // The shared-hit path agrees (re-insert; probe via get_shared).
+        c.insert(&n("a.test"), RrType::A, vec![a_record("a.test", 5)], at(10));
+        let hit = c.get_shared(&n("a.test"), RrType::A, at(14)).unwrap();
+        assert_eq!(hit.remaining_ttl, 1, "remaining_ttl is never 0 on a hit");
+        assert!(c
+            .get_shared(
+                &n("a.test"),
+                RrType::A,
+                at(14) + SimDuration::from_millis(1)
+            )
+            .is_none());
     }
 
     #[test]
@@ -686,13 +714,14 @@ mod tests {
     fn negative_entry_ttl_decays_to_boundary() {
         let mut c = DnsCache::new(16);
         c.insert_negative(&n("no.test"), RrType::A, Rcode::NxDomain, 10, at(0));
-        // Still a hit through the very last nanosecond of its lifetime...
-        let last_ns = SimTime::ZERO + SimDuration::from_nanos(at(10).as_nanos() - 1);
-        let (recs, rcode) = c.get(&n("no.test"), RrType::A, last_ns).unwrap();
+        // Still a hit with exactly one second of lifetime left...
+        let (recs, rcode) = c.get(&n("no.test"), RrType::A, at(9)).unwrap();
         assert!(recs.is_empty());
         assert_eq!(rcode, Rcode::NxDomain);
-        // ...and a miss at exactly the expiry instant.
-        assert!(c.get(&n("no.test"), RrType::A, at(10)).is_none());
+        // ...and a miss once the remainder is sub-second: negative
+        // entries honour the same serve-≥1 s boundary as positive ones.
+        let inside_final_second = at(9) + SimDuration::from_nanos(1);
+        assert!(c.get(&n("no.test"), RrType::A, inside_final_second).is_none());
         assert!(c.is_empty(), "expired negative entry must be removed");
     }
 

@@ -26,14 +26,21 @@
 //!   measurement per query.
 //! * EDNS Client Subnet end to end: stubs and forwarders can attach ECS,
 //!   servers model its extra processing cost, and answers can be scoped.
+//! * [`engine::ServeEngine`] — the same plugin chain behind a plain
+//!   synchronous call for real transports: the `mecdnsd` binary decodes
+//!   a UDP datagram, calls [`engine::ServeEngine::resolve`], and encodes
+//!   the answer with `Message::encode_bounded` (TC-bit truncation to the
+//!   client's payload budget).
 //!
 //! # Omitted (deliberately)
 //!
-//! * TCP fallback and truncation — every response in the workspace fits
-//!   the UDP payload budget.
+//! * TCP fallback — truncated answers set the TC bit and rely on the
+//!   client retrying; the serving path never emits a response beyond
+//!   the client's advertised payload budget.
 //! * DNSSEC — orthogonal to the latency argument of the paper.
 
 pub mod cache;
+pub mod engine;
 pub mod plugin;
 pub mod plugins;
 pub mod server;
@@ -41,6 +48,7 @@ pub mod stub;
 pub mod zone;
 
 pub use cache::{CacheHit, DnsCache};
+pub use engine::{RcodeCounts, ServeEngine};
 pub use plugin::{Plugin, PluginDecision, QueryCtx};
 pub use server::{DnsServer, ServerConfig};
 pub use stub::{QueryOutcome, SendStrategy, StubEngine};

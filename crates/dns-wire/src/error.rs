@@ -50,6 +50,15 @@ pub enum WireError {
     BadClientSubnet(&'static str),
     /// An encoded message would exceed the 65,535-byte message limit.
     MessageTooLong(usize),
+    /// A section holds more records than its 16-bit header count field
+    /// can declare. Encoding such a message would emit a count lie —
+    /// the wire would silently claim `count % 65536` entries.
+    TooManyRecords {
+        /// Which section overflowed.
+        section: &'static str,
+        /// Actual number of entries in the section.
+        count: usize,
+    },
     /// A TXT character-string exceeded 255 octets.
     CharacterStringTooLong(usize),
 }
@@ -84,6 +93,9 @@ impl fmt::Display for WireError {
             WireError::BadClientSubnet(why) => write!(f, "malformed client-subnet option: {why}"),
             WireError::MessageTooLong(n) => {
                 write!(f, "encoded message of {n} bytes exceeds 65535")
+            }
+            WireError::TooManyRecords { section, count } => {
+                write!(f, "{section} section holds {count} records, exceeding 65535")
             }
             WireError::CharacterStringTooLong(n) => {
                 write!(f, "character-string of {n} octets exceeds 255")

@@ -66,7 +66,7 @@ pub use edns::{ClientSubnet, EdnsOption, Opt};
 pub use error::WireError;
 pub use header::{Header, Opcode, Rcode};
 pub use intern::NameId;
-pub use message::{Message, Question};
+pub use message::{Message, Question, CLASSIC_UDP_PAYLOAD};
 pub use name::Name;
 pub use presentation::PresentationError;
 pub use rdata::RData;

@@ -5,8 +5,12 @@ use crate::error::WireError;
 use crate::header::{Header, Rcode};
 use crate::name::Name;
 use crate::record::{Record, RrClass, RrType};
-use crate::wire::{Reader, Writer};
+use crate::wire::{Reader, Writer, MAX_MESSAGE_LEN};
 use std::fmt;
+
+/// The pre-EDNS UDP payload ceiling (RFC 1035 §4.2.1): what a response
+/// must fit within when the client advertised no EDNS payload size.
+pub const CLASSIC_UDP_PAYLOAD: usize = 512;
 
 /// A question: name, type and class.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,17 +136,30 @@ impl Message {
         self.answers.iter().filter_map(|r| r.rdata.as_a()).collect()
     }
 
+    /// The four header count fields, or a typed error when a section
+    /// holds more entries than 16 bits can declare. Encoding checks this
+    /// *before* writing anything, so a count lie is never emitted.
+    fn section_counts(&self) -> Result<[u16; 4], WireError> {
+        fn checked(section: &'static str, count: usize) -> Result<u16, WireError> {
+            u16::try_from(count).map_err(|_| WireError::TooManyRecords { section, count })
+        }
+        let arcount = self.additionals.len() + usize::from(self.edns.is_some());
+        Ok([
+            checked("question", self.questions.len())?,
+            checked("answer", self.answers.len())?,
+            checked("authority", self.authorities.len())?,
+            checked("additional", arcount)?,
+        ])
+    }
+
     /// Encodes the message to wire format.
+    ///
+    /// Fails with [`WireError::TooManyRecords`] when a section exceeds
+    /// its 16-bit count field — the counts on the wire always match the
+    /// sections exactly.
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut w = Writer::new();
-        let arcount = self.additionals.len() + usize::from(self.edns.is_some());
-        let counts = [
-            self.questions.len() as u16,
-            self.answers.len() as u16,
-            self.authorities.len() as u16,
-            arcount as u16,
-        ];
-        self.header.encode(&mut w, counts);
+        self.header.encode(&mut w, self.section_counts()?);
         for q in &self.questions {
             q.encode(&mut w)?;
         }
@@ -156,6 +173,91 @@ impl Message {
         }
         if let Some(opt) = &self.edns {
             opt.to_record()?.encode(&mut w)?;
+        }
+        w.finish()
+    }
+
+    /// Encodes the message into at most `max_payload` bytes, dropping
+    /// whole trailing records — never splitting one — and setting the TC
+    /// bit when anything had to be dropped (RFC 1035 §4.1.1; RFC 2181
+    /// §9). This is what a UDP server must use for every response: the
+    /// bound is the client's advertised EDNS payload size, or
+    /// [`CLASSIC_UDP_PAYLOAD`] when it advertised none.
+    ///
+    /// Records are dropped strictly from the tail (additionals last on
+    /// the wire, so they go first), and the OPT pseudo-record is always
+    /// included — its bytes are reserved up front, because the client
+    /// needs the server's EDNS parameters to interpret even a truncated
+    /// response. The header and question section must fit the bound
+    /// ([`WireError::MessageTooLong`] otherwise; any bound ≥ 512 always
+    /// has room for a single-question header).
+    pub fn encode_bounded(&self, max_payload: usize) -> Result<Vec<u8>, WireError> {
+        // Bounding is not an excuse for a count lie: validate first.
+        self.section_counts()?;
+        let limit = max_payload.min(MAX_MESSAGE_LEN);
+        let opt_bytes = match &self.edns {
+            Some(opt) => {
+                let mut ow = Writer::new();
+                opt.to_record()?.encode(&mut ow)?;
+                ow.finish()?
+            }
+            None => Vec::new(),
+        };
+        let mut w = Writer::new();
+        self.header.encode(&mut w, [0, 0, 0, 0]);
+        for q in &self.questions {
+            q.encode(&mut w)?;
+        }
+        let Some(budget) = limit.checked_sub(opt_bytes.len()).filter(|&b| w.len() <= b)
+        else {
+            // Not even header + questions + OPT fit the transport.
+            return Err(WireError::MessageTooLong(w.len() + opt_bytes.len()));
+        };
+        // Fill sections in wire order until a record would overflow the
+        // budget; from that point every later record is dropped too.
+        let mut kept_an: u16 = 0;
+        let mut kept_ns: u16 = 0;
+        let mut kept_ar: u16 = 0;
+        let mut dropped = false;
+        'fill: {
+            let push = |w: &mut Writer, rec: &Record, kept: &mut u16| {
+                let mark = w.len();
+                rec.encode(w)?;
+                if w.len() > budget {
+                    w.truncate(mark);
+                    return Ok(false);
+                }
+                *kept += 1;
+                Ok::<bool, WireError>(true)
+            };
+            for rec in &self.answers {
+                if !push(&mut w, rec, &mut kept_an)? {
+                    dropped = true;
+                    break 'fill;
+                }
+            }
+            for rec in &self.authorities {
+                if !push(&mut w, rec, &mut kept_ns)? {
+                    dropped = true;
+                    break 'fill;
+                }
+            }
+            for rec in &self.additionals {
+                if !push(&mut w, rec, &mut kept_ar)? {
+                    dropped = true;
+                    break 'fill;
+                }
+            }
+        }
+        w.write_bytes(&opt_bytes);
+        // Back-patch the real counts (offsets 4..12) and, if any record
+        // was dropped, the TC bit in the flags word at offset 2.
+        w.patch_u16(4, self.questions.len() as u16);
+        w.patch_u16(6, kept_an);
+        w.patch_u16(8, kept_ns);
+        w.patch_u16(10, kept_ar + u16::from(self.edns.is_some()));
+        if dropped {
+            w.patch_u16(2, self.header.flags_value() | Header::TC_BIT);
         }
         w.finish()
     }
@@ -390,6 +492,157 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("q-cf.bstatic.com."));
         assert!(s.contains("13.249.9.9"));
+    }
+
+    /// The smallest useful record: an A record on `name`. Answer lists
+    /// built from these compress to a 2-byte pointer + 14 bytes each.
+    fn a_record(name: &Name, last_octet: u8) -> Record {
+        Record::new(
+            name.clone(),
+            RrClass::In,
+            30,
+            RData::A(Ipv4Addr::new(10, 0, 0, last_octet)),
+        )
+    }
+
+    /// A response with `n` A-record answers sharing the qname.
+    fn response_with_answers(n: usize) -> Message {
+        let name = Name::parse("video.mycdn.ciab.test").unwrap();
+        let mut m = Message::query(7, name.clone(), RrType::A);
+        m.header.is_response = true;
+        for i in 0..n {
+            m.answers.push(a_record(&name, (i % 250) as u8 + 1));
+        }
+        m
+    }
+
+    #[test]
+    fn question_count_overflow_is_typed() {
+        let name = Name::parse("x.test").unwrap();
+        let mut m = Message::query(1, name.clone(), RrType::A);
+        m.questions = vec![Question::new(name, RrType::A); 65_536];
+        let want = Err(WireError::TooManyRecords {
+            section: "question",
+            count: 65_536,
+        });
+        assert_eq!(m.encode(), want);
+        assert_eq!(m.encode_bounded(1232), want);
+    }
+
+    #[test]
+    fn answer_count_overflow_is_typed() {
+        let name = Name::parse("x.test").unwrap();
+        let mut m = Message::query(1, name.clone(), RrType::A);
+        m.answers = vec![a_record(&name, 1); 65_536];
+        assert_eq!(
+            m.encode(),
+            Err(WireError::TooManyRecords {
+                section: "answer",
+                count: 65_536,
+            })
+        );
+    }
+
+    #[test]
+    fn authority_count_overflow_is_typed() {
+        let name = Name::parse("x.test").unwrap();
+        let mut m = Message::query(1, name.clone(), RrType::A);
+        m.authorities = vec![a_record(&name, 1); 65_536];
+        assert_eq!(
+            m.encode(),
+            Err(WireError::TooManyRecords {
+                section: "authority",
+                count: 65_536,
+            })
+        );
+    }
+
+    #[test]
+    fn additional_count_overflow_is_typed_and_includes_opt() {
+        // 65,535 additionals alone would fit the count field, but the
+        // OPT pseudo-record rides in the same section: arcount is 65,536.
+        let name = Name::parse("x.test").unwrap();
+        let mut m = Message::query(1, name.clone(), RrType::A);
+        m.additionals = vec![a_record(&name, 1); 65_535];
+        m.edns = Some(Opt::default());
+        assert_eq!(
+            m.encode(),
+            Err(WireError::TooManyRecords {
+                section: "additional",
+                count: 65_536,
+            })
+        );
+        // Without the OPT the counts are legal again; the encoding then
+        // fails only because the body exceeds the 16-bit message length —
+        // a size problem, never a count lie.
+        m.edns = None;
+        assert!(matches!(m.encode(), Err(WireError::MessageTooLong(_))));
+    }
+
+    #[test]
+    fn bounded_encode_at_exact_size_is_identical_to_encode() {
+        let m = response_with_answers(3);
+        let full = m.encode().unwrap();
+        let bounded = m.encode_bounded(full.len()).unwrap();
+        assert_eq!(bounded, full);
+        assert!(!Message::decode(&bounded).unwrap().header.truncated);
+    }
+
+    #[test]
+    fn bounded_encode_one_byte_over_drops_last_record_and_sets_tc() {
+        let m = response_with_answers(3);
+        let full = m.encode().unwrap();
+        let bounded = m.encode_bounded(full.len() - 1).unwrap();
+        assert!(bounded.len() < full.len());
+        let back = Message::decode(&bounded).unwrap();
+        assert!(back.header.truncated);
+        assert_eq!(back.answers, m.answers[..2]);
+        assert_eq!(back.questions, m.questions);
+    }
+
+    #[test]
+    fn bounded_encode_keeps_opt_while_dropping_records() {
+        let mut m = response_with_answers(40);
+        m.edns = Some(Opt::default());
+        let full = m.encode().unwrap();
+        assert!(full.len() > CLASSIC_UDP_PAYLOAD);
+        let bounded = m.encode_bounded(CLASSIC_UDP_PAYLOAD).unwrap();
+        assert!(bounded.len() <= CLASSIC_UDP_PAYLOAD);
+        let back = Message::decode(&bounded).unwrap();
+        assert!(back.header.truncated);
+        assert!(back.edns.is_some(), "OPT must survive truncation");
+        assert!(back.answers.len() < m.answers.len());
+        // Never splits a record: every kept answer is an intact prefix
+        // of the original answer section.
+        assert_eq!(back.answers, m.answers[..back.answers.len()]);
+    }
+
+    #[test]
+    fn bounded_encode_drops_tail_sections_first() {
+        // One answer, one authority, one additional; bound the message
+        // so only the answer fits. Later sections go before earlier ones.
+        let name = Name::parse("x.mycdn.ciab.test").unwrap();
+        let mut m = Message::query(9, name.clone(), RrType::A);
+        m.header.is_response = true;
+        m.answers.push(a_record(&name, 1));
+        m.authorities.push(a_record(&name, 2));
+        m.additionals.push(a_record(&name, 3));
+        let full = m.encode().unwrap();
+        let bounded = m.encode_bounded(full.len() - 1).unwrap();
+        let back = Message::decode(&bounded).unwrap();
+        assert!(back.header.truncated);
+        assert_eq!(back.answers, m.answers);
+        assert_eq!(back.authorities, m.authorities);
+        assert!(back.additionals.is_empty());
+    }
+
+    #[test]
+    fn bounded_encode_rejects_a_bound_the_question_cannot_meet() {
+        let m = response_with_answers(1);
+        assert!(matches!(
+            m.encode_bounded(12),
+            Err(WireError::MessageTooLong(_))
+        ));
     }
 
     #[test]

@@ -154,6 +154,16 @@ impl Writer {
         self.buf[at + 1] = b[1];
     }
 
+    /// Rolls the buffer back to `len` bytes, forgetting any compression
+    /// suffix recorded at or past the cut — a later name must never emit
+    /// a pointer into bytes that no longer exist. Used by the bounded
+    /// message encoder to drop a whole record that overflowed the
+    /// payload budget.
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+        self.names.retain(|_, &mut off| usize::from(off) < len);
+    }
+
     /// Looks up a previously written name suffix.
     pub(crate) fn lookup_suffix(&self, key: NameId) -> Option<u16> {
         self.names.get(&key).copied()

@@ -5,7 +5,7 @@
 //! decoder never panics on arbitrary bytes.
 
 use dns_wire::{
-    ClientSubnet, Message, Name, Opt, Question, RData, Rcode, Record, RrClass, RrType,
+    ClientSubnet, Message, Name, Opt, Question, RData, Rcode, Record, RrClass, RrType, WireError,
 };
 use proptest::prelude::*;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
@@ -355,6 +355,118 @@ proptest! {
     #[test]
     fn presentation_parser_never_panics(line in "[ -~]{0,80}") {
         let _ = line.parse::<Record>();
+    }
+}
+
+proptest! {
+    // Each case encodes up to 65,536 records; a handful of cases probes
+    // both sides of the boundary in every section without dominating the
+    // suite's runtime.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The 16-bit count boundary: `encode` must accept 65,535 entries per
+    // section — failing, if at all, with the *size* error, never a count
+    // lie — and reject 65,536 with the typed overflow error.
+    #[test]
+    fn encode_rejects_exactly_at_the_count_boundary(
+        over in any::<bool>(),
+        section in 0u8..4,
+        with_opt in any::<bool>(),
+    ) {
+        let name = Name::parse("b.count.test").unwrap();
+        let rec = Record::new(
+            name.clone(),
+            RrClass::In,
+            5,
+            RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+        );
+        let mut m = Message::query(1, name.clone(), RrType::A);
+        if with_opt {
+            m.edns = Some(Opt::default());
+        }
+        let count = if over { 65_536usize } else { 65_535 };
+        let label = match section {
+            0 => {
+                m.questions = vec![Question::new(name.clone(), RrType::A); count];
+                "question"
+            }
+            1 => {
+                m.answers = vec![rec; count];
+                "answer"
+            }
+            2 => {
+                m.authorities = vec![rec; count];
+                "authority"
+            }
+            _ => {
+                // arcount counts the OPT pseudo-record too.
+                m.additionals = vec![rec; count - usize::from(with_opt)];
+                "additional"
+            }
+        };
+        match m.encode() {
+            Err(WireError::TooManyRecords { section: s, count: c }) => {
+                prop_assert!(over, "typed overflow for a legal count");
+                prop_assert_eq!(s, label);
+                prop_assert_eq!(c, count);
+            }
+            Err(WireError::MessageTooLong(_)) => {
+                // 65,535 minimal records still overflow the 16-bit
+                // message length — a size refusal, with honest counts.
+                prop_assert!(!over, "count overflow misdiagnosed as size");
+            }
+            Ok(bytes) => {
+                prop_assert!(!over, "count overflow encoded successfully");
+                let back = Message::decode(&bytes).unwrap();
+                prop_assert_eq!(back.questions.len(), m.questions.len());
+                prop_assert_eq!(back.answers.len(), m.answers.len());
+            }
+            Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // The bounded encoder on arbitrary messages: output fits the bound,
+    // decodes cleanly, keeps sections as intact prefixes in wire order,
+    // always retains the OPT, and is byte-identical to `encode` whenever
+    // nothing had to be dropped.
+    #[test]
+    fn bounded_encode_stays_within_limit_and_decodes(
+        m in arb_message(),
+        limit in 20usize..700,
+    ) {
+        match m.encode_bounded(limit) {
+            // Header + question + OPT alone can exceed a small bound.
+            Err(WireError::MessageTooLong(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+            Ok(bytes) => {
+                prop_assert!(bytes.len() <= limit, "{} > {}", bytes.len(), limit);
+                let back = Message::decode(&bytes).unwrap();
+                prop_assert_eq!(&back.questions, &m.questions);
+                prop_assert_eq!(back.edns.is_some(), m.edns.is_some());
+                prop_assert_eq!(&back.answers[..], &m.answers[..back.answers.len()]);
+                prop_assert_eq!(
+                    &back.authorities[..],
+                    &m.authorities[..back.authorities.len()]
+                );
+                prop_assert_eq!(
+                    &back.additionals[..],
+                    &m.additionals[..back.additionals.len()]
+                );
+                let kept =
+                    back.answers.len() + back.authorities.len() + back.additionals.len();
+                let total = m.answers.len() + m.authorities.len() + m.additionals.len();
+                if back.header.truncated {
+                    prop_assert!(kept < total, "TC set but nothing dropped");
+                } else {
+                    prop_assert_eq!(kept, total);
+                    prop_assert_eq!(bytes, m.encode().unwrap());
+                }
+            }
+        }
     }
 }
 
