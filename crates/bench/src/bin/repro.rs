@@ -13,7 +13,12 @@
 //! repro dos            # §3 ablation: ingress-threshold switch
 //! repro chaos [--quick] # robustness: P1 policies under link faults + MEC DNS crash
 //! repro ipreuse        # §5: public-IP reuse accounting
+//! repro city [--quick] # metro-scale: 1M flow-level UEs, MEC vs cloud resolution
 //! ```
+//!
+//! `city` is not part of `repro all`: at full scale it simulates a
+//! million UEs per deployment and would dominate the run (and `all`'s
+//! committed golden output predates it). Invoke it explicitly.
 //!
 //! Add `--json` to emit machine-readable output (what EXPERIMENTS.md
 //! quotes) alongside the tables, `--seed <n>` to replay under a
@@ -168,6 +173,22 @@ fn main() {
             mec_cdn::experiments::ChaosConfig::default()
         };
         let r = experiments::chaos_experiment_with(SEED, &runner, &cfg);
+        print!("{}", r.render());
+        if json {
+            println!("{}", serde_json::to_string_pretty(&r).unwrap());
+        }
+        println!();
+    }
+    // Deliberately NOT under `all`: the full city is a million UEs per
+    // deployment, minutes of wall time, and `all`'s output is pinned by
+    // golden tests that predate it.
+    if what == "city" {
+        let cfg = if quick {
+            mec_cdn::CityConfig::quick()
+        } else {
+            mec_cdn::CityConfig::full()
+        };
+        let r = mec_cdn::city_experiment_with(SEED, &runner, &cfg);
         print!("{}", r.render());
         if json {
             println!("{}", serde_json::to_string_pretty(&r).unwrap());

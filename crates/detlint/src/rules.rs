@@ -120,6 +120,11 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/dns-server/src/plugins.rs",
     "crates/dns-server/src/engine.rs",
     "crates/netsim/src/network.rs",
+    // The timing wheel carries every event of every simulation; a panic
+    // or stray index here is a panic in all of them.
+    "crates/netsim/src/sched.rs",
+    // Per-UE state transitions run a million times per city trial.
+    "crates/workload/src/ue.rs",
     // The UDP serving loop: hostile datagrams hit this before anything
     // else, and a panic there takes a shard down.
     "crates/mecdnsd/src/serve.rs",
@@ -187,6 +192,8 @@ mod tests {
         for f in [
             "crates/dns-server/src/engine.rs",
             "crates/mecdnsd/src/serve.rs",
+            "crates/netsim/src/sched.rs",
+            "crates/workload/src/ue.rs",
         ] {
             assert!(rules_for_path(f).contains(&RuleId::HotPanic), "{f}");
             assert!(rules_for_path(f).contains(&RuleId::HotIndex), "{f}");

@@ -27,6 +27,9 @@
 //!   behind one MEC address.
 //! * [`experiments`] — turn-key reproductions of every table and figure,
 //!   returning serializable [`workload::Figure`] data.
+//! * [`city`] — the metro-scale capstone: a million flow-level UEs
+//!   multiplexed through eNB ingress nodes against MEC vs cloud
+//!   resolution, exercising the timing-wheel scheduler at depth.
 //! * [`runner`] — the parallel trial runner the campaigns fan out on:
 //!   per-trial derived seeds and index-ordered merges keep results
 //!   bit-identical at any thread count.
@@ -34,6 +37,7 @@
 //!   shared `netsim::Telemetry` store: counters, histograms and the
 //!   trace-vs-tap wireless-split cross-check.
 
+pub mod city;
 pub mod deployments;
 pub mod dos;
 pub mod ecosystem;
@@ -44,6 +48,7 @@ pub mod measurement;
 pub mod runner;
 pub mod telemetry;
 
+pub use city::{city_experiment, city_experiment_with, CityConfig, CityDeployment, CityReport};
 pub use deployments::{Deployment, DeploymentKind, TestbedConfig};
 pub use dos::{DosPolicy, ResolverDirective};
 pub use ecosystem::{Entity, Role};

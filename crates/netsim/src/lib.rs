@@ -56,6 +56,7 @@ pub mod faults;
 pub mod network;
 pub mod node;
 pub mod pcap;
+pub mod sched;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -66,7 +67,8 @@ pub use dist::Latency;
 pub use faults::{Fault, FaultSchedule};
 pub use network::{LinkId, LinkProfile, Network, NodeId};
 pub use node::{Datagram, ForwardAction, NodeBehavior, NodeContext, TimerToken};
-pub use stats::{LatencySummary, Samples};
+pub use sched::{EventKey, TimerWheel};
+pub use stats::{LatencySummary, SchedStats, Samples};
 pub use telemetry::{Breadcrumb, MetricsRegistry, ResolutionTrace, Telemetry};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TapDirection, TapRecord};

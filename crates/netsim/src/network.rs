@@ -3,12 +3,13 @@
 use crate::addr::Cidr;
 use crate::dist::Latency;
 use crate::node::{Datagram, ForwardAction, NodeBehavior, NodeContext, TimerToken};
+use crate::sched::TimerWheel;
+use crate::stats::SchedStats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TapDirection, TapRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::net::IpAddr;
 
 /// Handle to a node in the network.
@@ -125,13 +126,25 @@ struct Node {
     /// Bumped on every crash so timers armed before the crash can be
     /// recognised (and discarded) if they fire after a restart.
     epoch: u64,
+    /// Next ephemeral source port for this node. Per-node, so a million
+    /// UEs behind one simulation don't share (and exhaust) one 16-bit
+    /// port sequence.
+    next_ephemeral: u16,
 }
 
+/// The queued-event payload. Datagrams are boxed: at city scale millions
+/// of events are pending at once, and a slim `Event` (the common `Timer`
+/// variant carries four words) keeps every queued cell small — see the
+/// `event_size_budget` test.
 enum Event {
     /// Packet arrives at `node` after traversing a link.
-    Arrive { node: NodeId, dgram: Datagram, ttl: u8 },
+    Arrive {
+        node: NodeId,
+        dgram: Box<Datagram>,
+        ttl: u8,
+    },
     /// Locally-originated packet enters the network at `node`.
-    Depart { node: NodeId, dgram: Datagram },
+    Depart { node: NodeId, dgram: Box<Datagram> },
     /// Timer fires at `node`.
     Timer {
         node: NodeId,
@@ -148,29 +161,6 @@ enum Event {
     Call(Box<dyn FnOnce(&mut Network)>),
 }
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// Initial IP TTL; packets caught in a routing loop die after this many
 /// hops instead of looping forever.
 const INITIAL_TTL: u8 = 64;
@@ -181,11 +171,11 @@ pub struct Network {
     links: Vec<Link>,
     adjacency: HashMap<(NodeId, NodeId), LinkId>,
     addr_index: HashMap<IpAddr, NodeId>,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    /// The event scheduler — a hierarchical timing wheel preserving
+    /// exact `(time, seq)` FIFO order (see [`crate::sched`]).
+    wheel: TimerWheel<Event>,
     now: SimTime,
-    seq: u64,
     rng: StdRng,
-    next_ephemeral: u16,
     next_timer: u64,
     /// Count of packets dropped by fault injection (observability).
     pub dropped_packets: u64,
@@ -213,11 +203,9 @@ impl Network {
             links: Vec::new(),
             adjacency: HashMap::new(),
             addr_index: HashMap::new(),
-            queue: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
             now: SimTime::ZERO,
-            seq: 0,
             rng: StdRng::seed_from_u64(seed),
-            next_ephemeral: 49152,
             next_timer: 0,
             dropped_packets: 0,
             ttl_expired_packets: 0,
@@ -259,6 +247,7 @@ impl Network {
             tap_payloads: false,
             up: true,
             epoch: 0,
+            next_ephemeral: 49152,
         });
         self.schedule(self.now, Event::Start { node: id });
         id
@@ -432,10 +421,13 @@ impl Network {
             .unwrap_or_default()
     }
 
-    /// A fresh ephemeral source port.
-    pub(crate) fn ephemeral_port(&mut self) -> u16 {
-        let p = self.next_ephemeral;
-        self.next_ephemeral = if p == u16::MAX { 49152 } else { p + 1 };
+    /// A fresh ephemeral source port for `node`. Allocation is
+    /// per-source-node: each node cycles its own 49152..=65535 range and
+    /// wraps back to 49152, so one chatty node cannot exhaust or collide
+    /// with another node's port sequence.
+    pub(crate) fn ephemeral_port(&mut self, node: NodeId) -> u16 {
+        let p = self.nodes[node.0].next_ephemeral;
+        self.nodes[node.0].next_ephemeral = if p == u16::MAX { 49152 } else { p + 1 };
         p
     }
 
@@ -463,13 +455,29 @@ impl Network {
     /// Entry point for locally-originated traffic (from behaviors).
     pub(crate) fn inject(&mut self, node: NodeId, dgram: Datagram) {
         self.tap_record(node, TapDirection::Originate, &dgram);
-        self.schedule(self.now, Event::Depart { node, dgram });
+        self.schedule(
+            self.now,
+            Event::Depart {
+                node,
+                dgram: Box::new(dgram),
+            },
+        );
     }
 
     fn schedule(&mut self, time: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Scheduled { time, seq, event }));
+        self.wheel.schedule(time, event);
+    }
+
+    /// Scheduler counters accumulated so far (depth high-water mark,
+    /// cascades, executed events) — what `city` folds into
+    /// `BENCH_city.json` without ad-hoc instrumentation.
+    pub fn sched_stats(&self) -> SchedStats {
+        *self.wheel.stats()
+    }
+
+    /// Events currently pending in the scheduler.
+    pub fn pending_events(&self) -> usize {
+        self.wheel.len()
     }
 
     /// Runs until the event queue is empty.
@@ -480,8 +488,8 @@ impl Network {
     /// Runs until the queue is empty or virtual time would pass
     /// `deadline`; events after the deadline stay queued.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(s)) = self.queue.peek() {
-            if s.time > deadline {
+        while let Some(t) = self.wheel.peek_time() {
+            if t > deadline {
                 break;
             }
             self.step();
@@ -491,7 +499,7 @@ impl Network {
 
     /// Processes one event; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(Scheduled { time, event, .. })) = self.queue.pop() else {
+        let Some((time, event)) = self.wheel.pop() else {
             return false;
         };
         debug_assert!(time >= self.now, "event queue went backwards");
@@ -510,8 +518,8 @@ impl Network {
                     self.with_behavior(node, |beh, ctx| beh.on_timer(ctx, token, data))
                 }
             }
-            Event::Depart { node, dgram } => self.route_from(node, dgram, INITIAL_TTL),
-            Event::Arrive { node, dgram, ttl } => self.arrive(node, dgram, ttl),
+            Event::Depart { node, dgram } => self.route_from(node, *dgram, INITIAL_TTL),
+            Event::Arrive { node, dgram, ttl } => self.arrive(node, *dgram, ttl),
             Event::Call(f) => f(self),
         }
         true
@@ -564,7 +572,14 @@ impl Network {
         // Local destination (possibly one of our own addresses): loopback.
         if self.nodes[node.0].addrs.contains(&dgram.dst) {
             let t = self.now + SimDuration::from_micros(10);
-            self.schedule(t, Event::Arrive { node, dgram, ttl });
+            self.schedule(
+                t,
+                Event::Arrive {
+                    node,
+                    dgram: Box::new(dgram),
+                    ttl,
+                },
+            );
             return;
         }
         let next = self.nodes[node.0]
@@ -624,7 +639,7 @@ impl Network {
             arrival,
             Event::Arrive {
                 node: to,
-                dgram,
+                dgram: Box::new(dgram),
                 ttl,
             },
         );
@@ -1079,5 +1094,90 @@ mod tests {
         let mut net = Network::new(13);
         net.add_node("a", [ip("10.0.0.1")], Nop);
         net.add_node("b", [ip("10.0.0.1")], Nop);
+    }
+
+    /// Budget test: at city scale millions of events sit queued at once,
+    /// so a fat new `Event` variant (or an unboxed datagram) multiplies
+    /// across all of them. If you trip this, box the new variant's
+    /// payload instead of raising the bound.
+    #[test]
+    fn event_size_budget() {
+        assert!(
+            std::mem::size_of::<Event>() <= 40,
+            "Event grew to {} bytes (budget 40)",
+            std::mem::size_of::<Event>()
+        );
+        assert!(
+            TimerWheel::<Event>::cell_size() <= 64,
+            "scheduler cell grew to {} bytes (budget 64: one cache line)",
+            TimerWheel::<Event>::cell_size()
+        );
+    }
+
+    #[test]
+    fn ephemeral_ports_are_per_node() {
+        let mut net = Network::new(14);
+        let a = net.add_node("a", [ip("10.0.0.1")], Nop);
+        let b = net.add_node("b", [ip("10.0.0.2")], Nop);
+        // Each node starts its own sequence at 49152: heavy allocation on
+        // one node must not advance (or collide with) the other's.
+        for i in 0..1000u16 {
+            assert_eq!(net.ephemeral_port(a), 49152 + i);
+        }
+        assert_eq!(net.ephemeral_port(b), 49152);
+        assert_eq!(net.ephemeral_port(b), 49153);
+        assert_eq!(net.ephemeral_port(a), 50152);
+    }
+
+    #[test]
+    fn ephemeral_ports_wrap_to_dynamic_range_start() {
+        // Regression: the old global allocator wrapped 65535 → 49152 for
+        // the whole network; per-node allocation must keep the same
+        // wrap *per node* and never wander below 49152 (the reserved
+        // range, where servers listen).
+        let mut net = Network::new(15);
+        let a = net.add_node("a", [ip("10.0.0.1")], Nop);
+        net.nodes[a.0].next_ephemeral = 65534;
+        assert_eq!(net.ephemeral_port(a), 65534);
+        assert_eq!(net.ephemeral_port(a), 65535);
+        assert_eq!(net.ephemeral_port(a), 49152, "wrap must return to 49152");
+        assert_eq!(net.ephemeral_port(a), 49153);
+    }
+
+    #[test]
+    fn stale_epoch_timers_die_with_the_crash_under_the_wheel() {
+        // The wheel knows nothing about node epochs; the dispatch-time
+        // epoch check must keep voiding pre-crash timers exactly as the
+        // old heap did.
+        struct Rearm {
+            fired: usize,
+        }
+        impl NodeBehavior for Rearm {
+            fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+                // Far enough out to land beyond the crash/restart window.
+                ctx.set_timer(SimDuration::from_millis(50), 7);
+            }
+            fn on_timer(&mut self, _ctx: &mut NodeContext<'_>, _t: TimerToken, _d: u64) {
+                self.fired += 1;
+            }
+        }
+        let mut net = Network::new(16);
+        let n = net.add_node("n", [ip("10.0.0.1")], Rearm { fired: 0 });
+        // Crash at 10 ms, restart at 20 ms: the 50 ms timer was armed in
+        // epoch 0 and must NOT fire after the epoch-1 restart.
+        net.schedule_call(SimDuration::from_millis(10), move |net| {
+            net.set_node_up(n, false);
+        });
+        net.schedule_call(SimDuration::from_millis(20), move |net| {
+            net.set_node_up(n, true);
+        });
+        net.run();
+        assert_eq!(net.behavior::<Rearm>(n).fired, 0);
+        // A timer armed after the restart fires normally.
+        net.with_behavior(n, |_, ctx| {
+            ctx.set_timer(SimDuration::from_millis(5), 8);
+        });
+        net.run();
+        assert_eq!(net.behavior::<Rearm>(n).fired, 1);
     }
 }

@@ -122,7 +122,7 @@ impl NodeContext<'_> {
     /// match the reply.
     pub fn send(&mut self, dst: IpAddr, dst_port: u16, payload: Vec<u8>) -> u16 {
         let src = self.primary_addr();
-        let src_port = self.net.ephemeral_port();
+        let src_port = self.net.ephemeral_port(self.node);
         self.send_datagram(Datagram {
             src,
             src_port,

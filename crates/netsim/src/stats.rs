@@ -97,6 +97,28 @@ impl Samples {
     }
 }
 
+/// Counters accumulated by the event scheduler ([`crate::sched::TimerWheel`]).
+///
+/// Deterministic by construction — every counter is a function of the
+/// simulated event stream, not of wall time — so experiments can fold
+/// them into reproducible reports (`city` publishes them in
+/// `BENCH_city.json`). Wall-clock events/sec is *derived* outside the
+/// simulator by the bench binaries (executed ÷ measured seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Events delivered by `pop`.
+    pub executed: u64,
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+    /// Non-empty upper-level slot drains (each re-files its chain into
+    /// finer levels) — the wheel's amortized re-sort work.
+    pub cascades: u64,
+    /// High-water mark of concurrently pending events.
+    pub max_pending: u64,
+}
+
 fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
     if sorted.len() == 1 {

@@ -7,6 +7,8 @@
 //!   the per-access-network answer distributions used to calibrate the
 //!   commercial model.
 //! * [`zipf`] — Zipf-distributed content popularity for cache workloads.
+//! * [`ue`] — flow-level UE populations (compact per-UE state, diurnal
+//!   arrival thinning) for city-scale experiments.
 //! * [`gen`] — deterministic query/request schedules.
 //! * [`figures`] — serializable figure/table data (bars with trimmed
 //!   means and whiskers) the `repro` harness prints and EXPERIMENTS.md
@@ -15,8 +17,10 @@
 pub mod figures;
 pub mod gen;
 pub mod sites;
+pub mod ue;
 pub mod zipf;
 
 pub use figures::{Bar, Figure, StackedBar};
 pub use sites::{PoolWeight, Site, SITES};
+pub use ue::{DiurnalCurve, UeAction, UeConfig, UeFleet, UeState};
 pub use zipf::Zipf;

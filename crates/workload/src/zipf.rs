@@ -42,8 +42,15 @@ impl Zipf {
 
     /// Draws a rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+        self.sample_u01(rng.gen_range(0.0..1.0))
+    }
+
+    /// Maps a uniform draw `u` in `[0, 1)` to a rank in `0..n` by
+    /// inverse-CDF lookup. Rng-free so callers carrying their own
+    /// compact generator state (e.g. the per-UE splitmix streams in
+    /// [`crate::ue`]) can sample without the `Rng` machinery.
+    pub fn sample_u01(&self, u: f64) -> usize {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
