@@ -14,11 +14,13 @@
 //! repro chaos [--quick] # robustness: P1 policies under link faults + MEC DNS crash
 //! repro ipreuse        # §5: public-IP reuse accounting
 //! repro city [--quick] # metro-scale: 1M flow-level UEs, MEC vs cloud resolution
+//! repro federation [--quick] # 3-site anycast C-DNS vs single MEC vs DNS selection
 //! ```
 //!
-//! `city` is not part of `repro all`: at full scale it simulates a
-//! million UEs per deployment and would dominate the run (and `all`'s
-//! committed golden output predates it). Invoke it explicitly.
+//! `city` and `federation` are not part of `repro all`: at full scale
+//! `city` simulates a million UEs per deployment and would dominate the
+//! run, and `all`'s committed golden output predates both. Invoke them
+//! explicitly.
 //!
 //! Add `--json` to emit machine-readable output (what EXPERIMENTS.md
 //! quotes) alongside the tables, `--seed <n>` to replay under a
@@ -189,6 +191,20 @@ fn main() {
             mec_cdn::CityConfig::full()
         };
         let r = mec_cdn::city_experiment_with(SEED, &runner, &cfg);
+        print!("{}", r.render());
+        if json {
+            println!("{}", serde_json::to_string_pretty(&r).unwrap());
+        }
+        println!();
+    }
+    // Like `city`, not under `all`: postdates the pinned golden output.
+    if what == "federation" {
+        let cfg = if quick {
+            mec_cdn::FederationConfig::quick()
+        } else {
+            mec_cdn::FederationConfig::default()
+        };
+        let r = mec_cdn::federation_experiment_with(SEED, &runner, &cfg);
         print!("{}", r.render());
         if json {
             println!("{}", serde_json::to_string_pretty(&r).unwrap());

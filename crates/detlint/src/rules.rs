@@ -123,6 +123,9 @@ pub const HOT_PATH_FILES: &[&str] = &[
     // The timing wheel carries every event of every simulation; a panic
     // or stray index here is a panic in all of them.
     "crates/netsim/src/sched.rs",
+    // The anycast catchment sits on every federated query's forwarding
+    // path: selection + DNAT run per datagram at the gateway.
+    "crates/netsim/src/catchment.rs",
     // Per-UE state transitions run a million times per city trial.
     "crates/workload/src/ue.rs",
     // The UDP serving loop: hostile datagrams hit this before anything
@@ -193,6 +196,7 @@ mod tests {
             "crates/dns-server/src/engine.rs",
             "crates/mecdnsd/src/serve.rs",
             "crates/netsim/src/sched.rs",
+            "crates/netsim/src/catchment.rs",
             "crates/workload/src/ue.rs",
         ] {
             assert!(rules_for_path(f).contains(&RuleId::HotPanic), "{f}");

@@ -42,6 +42,19 @@ pub enum SendStrategy {
         /// How long to give the primary.
         timeout: SimDuration,
     },
+    /// The federated-anycast policy: it distinguishes *"my site died"*
+    /// from *"resolution failed"*. Silence means the packet blackholed
+    /// at a dead catchment site — the right move is to retransmit to
+    /// the **same** anycast address and let routing reconverge to the
+    /// next site, not to flee to the cloud. A SERVFAIL or REFUSED is an
+    /// affirmative *"the MEC federation cannot resolve this"*, so only
+    /// then does the query leave the edge for `cloud`.
+    CloudOnServfail {
+        /// The anycast resolver address every federated site advertises.
+        anycast: IpAddr,
+        /// The cloud resolver of last resort.
+        cloud: IpAddr,
+    },
 }
 
 /// The result of one completed (or failed) query.
@@ -204,6 +217,10 @@ impl StubEngine {
                 self.transmit(ctx, id, *primary);
                 ctx.set_timer(*timeout, TAG_STUB | u64::from(id));
             }
+            SendStrategy::CloudOnServfail { anycast, .. } => {
+                self.transmit(ctx, id, *anycast);
+                ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
+            }
         }
         id
     }
@@ -256,12 +273,13 @@ impl StubEngine {
             return None;
         }
         let id = msg.header.id;
-        if msg.header.rcode == Rcode::ServFail {
+        let rcode = msg.header.rcode;
+        if rcode == Rcode::ServFail || rcode == Rcode::Refused {
             let p = self.pending.get_mut(&id)?;
             match p.strategy.clone() {
                 SendStrategy::FallbackOnTimeout {
                     primary, fallback, ..
-                } if !p.fallback_sent && dgram.src == primary => {
+                } if rcode == Rcode::ServFail && !p.fallback_sent && dgram.src == primary => {
                     // The primary affirmatively refused — no point
                     // waiting for its timer before trying the fallback.
                     p.fallback_sent = true;
@@ -276,7 +294,26 @@ impl StubEngine {
                     ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
                     return None;
                 }
-                SendStrategy::Multicast(servers) => {
+                SendStrategy::CloudOnServfail { anycast, cloud }
+                    if !p.fallback_sent && dgram.src == anycast =>
+                {
+                    // The federation affirmatively cannot resolve this
+                    // name (SERVFAIL *or* REFUSED) — that is "resolution
+                    // failed", the one case that leaves the edge for the
+                    // cloud resolver.
+                    p.fallback_sent = true;
+                    self.telemetry.incr("stub.servfail");
+                    self.telemetry.mark(
+                        u64::from(id),
+                        ctx.now(),
+                        "stub.servfail",
+                        cloud.to_string(),
+                    );
+                    self.transmit(ctx, id, cloud);
+                    ctx.set_timer(self.query_timeout, TAG_STUB | u64::from(id));
+                    return None;
+                }
+                SendStrategy::Multicast(servers) if rcode == Rcode::ServFail => {
                     if !p.servfails.contains(&dgram.src) {
                         p.servfails.push(dgram.src);
                     }
@@ -295,6 +332,7 @@ impl StubEngine {
         let pending = self.pending.remove(&id)?;
         let used_fallback = match &pending.strategy {
             SendStrategy::FallbackOnTimeout { fallback, .. } => dgram.src == *fallback,
+            SendStrategy::CloudOnServfail { cloud, .. } => dgram.src == *cloud,
             _ => false,
         };
         let mut cnames = Vec::new();
@@ -389,6 +427,28 @@ impl StubEngine {
                     .mark(u64::from(id), ctx.now(), "stub.retry", fallback.to_string());
                 self.transmit(ctx, id, primary);
                 self.transmit(ctx, id, fallback);
+                ctx.set_timer(wait, TAG_STUB | u64::from(id));
+                None
+            }
+            SendStrategy::CloudOnServfail { anycast, cloud } if p.retries_left > 0 => {
+                // Silence on an anycast address means the catchment site
+                // died mid-flight. The address itself is still right —
+                // routing is reconverging to the next site — so
+                // retransmit to the *same* anycast address, backing off.
+                // (If a SERVFAIL already sent us to the cloud, keep that
+                // leg warm too.)
+                p.retries_left -= 1;
+                p.attempt = p.attempt.saturating_add(1);
+                let attempt = p.attempt;
+                let engaged = p.fallback_sent;
+                let wait = self.backoff(attempt);
+                self.telemetry.incr("stub.retry");
+                self.telemetry
+                    .mark(u64::from(id), ctx.now(), "stub.retry", anycast.to_string());
+                self.transmit(ctx, id, anycast);
+                if engaged {
+                    self.transmit(ctx, id, cloud);
+                }
                 ctx.set_timer(wait, TAG_STUB | u64::from(id));
                 None
             }

@@ -327,6 +327,129 @@ fn fallback_not_used_when_primary_answers() {
     assert_eq!(fb.queries_received, 0, "fallback should never be asked");
 }
 
+/// The federated-anycast world the two `CloudOnServfail` tests share:
+/// client → gateway → two MEC sites (each authoritative for the CDN
+/// zone with a site-local answer) plus a cloud resolver for everything
+/// else. Returns `(net, client, cloud_node)`.
+fn build_anycast_world(
+    queries: Vec<(Name, SendStrategy, Option<ClientSubnet>)>,
+) -> (Network, netsim::AnycastCatchment, NodeId, NodeId) {
+    use netsim::{AnycastCatchment, AnycastGateway, Cidr};
+    let anycast = ip("198.18.0.53");
+    let site_addrs = [ip("10.100.0.10"), ip("10.101.0.10")];
+    let catchment = AnycastCatchment::new(anycast, site_addrs)
+        .with_withdraw_delay(SimDuration::from_millis(100));
+    catchment.set_preference(Cidr::v4_default(), vec![0, 1]);
+
+    let mut net = Network::new(77);
+    let site_zone = |a: Ipv4Addr| {
+        let mut z = Zone::new(n("mycdn.ciab.test"));
+        z.add_a(n("video.demo1.mycdn.ciab.test"), a, 30);
+        z
+    };
+    let s0 = net.add_node(
+        "site0",
+        [site_addrs[0]],
+        DnsServer::new(
+            fast_config(),
+            vec![Box::new(AuthoritativePlugin::new(vec![site_zone(Ipv4Addr::new(10, 100, 0, 20))]))],
+        ),
+    );
+    let s1 = net.add_node(
+        "site1",
+        [site_addrs[1]],
+        DnsServer::new(
+            fast_config(),
+            vec![Box::new(AuthoritativePlugin::new(vec![site_zone(Ipv4Addr::new(10, 101, 0, 20))]))],
+        ),
+    );
+    let mut cloud_zone = Zone::new(n("example.test"));
+    cloud_zone.add_a(n("www.example.test"), Ipv4Addr::new(9, 9, 9, 9), 60);
+    let cloud = net.add_node(
+        "cloud",
+        [ip("10.44.9.1")],
+        DnsServer::new(fast_config(), vec![Box::new(AuthoritativePlugin::new(vec![cloud_zone]))]),
+    );
+    let gw = net.add_node("agg-gw", [ip("10.99.0.1")], AnycastGateway::new(catchment.clone()));
+    let mut client_b = Client::new(queries);
+    client_b.engine.query_timeout = SimDuration::from_millis(150);
+    client_b.engine.retries = 3;
+    let client = net.add_node("client", [ip("192.168.1.10")], client_b);
+
+    let fast = LinkProfile::with_latency(Latency::ConstantMs(1.0));
+    net.connect(client, gw, fast.clone());
+    net.connect(gw, s0, fast.clone());
+    net.connect(gw, s1, fast.clone());
+    net.connect(gw, cloud, fast);
+    for node in [client, s0, s1, cloud] {
+        net.add_default_route(node, gw);
+    }
+    (net, catchment, client, cloud)
+}
+
+#[test]
+fn cloud_on_servfail_rides_out_a_site_blackhole_by_reconverging() {
+    // "My site died": the preferred catchment site crashes while still
+    // advertised. The stub must keep retransmitting to the *anycast*
+    // address — not flee to the cloud — and win once routing converges
+    // to the surviving site.
+    let strategy = SendStrategy::CloudOnServfail {
+        anycast: ip("198.18.0.53"),
+        cloud: ip("10.44.9.1"),
+    };
+    let (mut net, catchment, client, cloud) =
+        build_anycast_world(vec![(n("video.demo1.mycdn.ciab.test"), strategy, None)]);
+    let s0 = net.node_by_addr(ip("10.100.0.10")).unwrap();
+    // Crash + withdraw announced at t=0, sequenced before the client's
+    // first query; the withdrawal converges at 100 ms. The query at
+    // t=0 blackholes at the dead-but-advertised site 0; its retry at
+    // 150 ms lands after convergence and reconverges to site 1.
+    net.schedule_call(SimDuration::from_millis(0), move |net| {
+        net.set_node_up(s0, false);
+    });
+    let c = catchment.clone();
+    net.schedule_call(SimDuration::from_millis(0), move |net| c.withdraw(net, 0));
+    net.run();
+
+    let out = outcomes(&net, client);
+    assert_eq!(out.len(), 1);
+    assert!(!out[0].timed_out);
+    assert!(!out[0].used_fallback, "cloud must not be engaged on silence");
+    assert_eq!(out[0].responder, Some(ip("198.18.0.53")), "answer appears from anycast");
+    assert_eq!(out[0].addrs, vec![Ipv4Addr::new(10, 101, 0, 20)], "served by site 1");
+    // Issued at 0 ms, retried at 150 ms, answered ~5 ms later: the
+    // penalty is one timeout + reconvergence, never a cloud trip.
+    assert!(out[0].rtt.as_millis_f64() >= 150.0, "rtt {:?}", out[0].rtt);
+    assert!(out[0].rtt.as_millis_f64() < 200.0, "rtt {:?}", out[0].rtt);
+    assert_eq!(net.behavior::<DnsServer>(cloud).queries_received, 0);
+    assert_eq!(catchment.convergences(), 1);
+}
+
+#[test]
+fn cloud_on_servfail_leaves_the_edge_only_on_refusal() {
+    // "Resolution failed": the healthy catchment site answers SERVFAIL
+    // for a non-federation name. That is an affirmative refusal — go to
+    // the cloud immediately, without waiting out any timer.
+    let strategy = SendStrategy::CloudOnServfail {
+        anycast: ip("198.18.0.53"),
+        cloud: ip("10.44.9.1"),
+    };
+    let (mut net, _catchment, client, cloud) =
+        build_anycast_world(vec![(n("www.example.test"), strategy, None)]);
+    net.run();
+
+    let out = outcomes(&net, client);
+    assert_eq!(out.len(), 1);
+    assert!(out[0].used_fallback, "the cloud supplied the answer");
+    assert_eq!(out[0].responder, Some(ip("10.44.9.1")));
+    assert_eq!(out[0].rcode, Rcode::NoError);
+    assert_eq!(out[0].addrs, vec![Ipv4Addr::new(9, 9, 9, 9)]);
+    // Site refusal (~4 ms) + cloud round trip (~4 ms): far below the
+    // 150 ms timer — refusal must not wait for silence handling.
+    assert!(out[0].rtt.as_millis_f64() < 20.0, "rtt {:?}", out[0].rtt);
+    assert_eq!(net.behavior::<DnsServer>(cloud).queries_received, 1);
+}
+
 #[test]
 fn total_timeout_yields_servfail_outcome() {
     let mut net = Network::new(10);

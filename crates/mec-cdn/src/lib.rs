@@ -43,6 +43,7 @@ pub mod dos;
 pub mod ecosystem;
 pub mod experiments;
 pub mod fallback;
+pub mod federation;
 pub mod ip_reuse;
 pub mod measurement;
 pub mod runner;
@@ -52,6 +53,10 @@ pub use city::{city_experiment, city_experiment_with, CityConfig, CityDeployment
 pub use deployments::{Deployment, DeploymentKind, TestbedConfig};
 pub use dos::{DosPolicy, ResolverDirective};
 pub use ecosystem::{Entity, Role};
+pub use federation::{
+    federation_experiment, federation_experiment_with, FederationConfig, FederationDeployment,
+    FederationReport,
+};
 pub use measurement::{MeasuredQuery, QueryClient};
 pub use runner::{derive_seed, Runner};
 pub use telemetry::{TelemetryReport, TrialTelemetry};

@@ -127,6 +127,11 @@ impl Cluster {
         &self.name
     }
 
+    /// The cluster's address plan.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
     /// Declares a namespace with a DNS visibility. The paper's split
     /// namespaces: VNFs live in `Internal` namespaces, MEC-CDN services
     /// in `Public` ones.
@@ -295,6 +300,54 @@ impl Cluster {
         let pod = self.launch_pod(net, ns, name, behavior);
         self.add_endpoint(svc, &pod);
         pod
+    }
+
+    /// Crashes or restores the whole site: the fabric node and every pod
+    /// go down (or come back) together. A crashed site blackholes
+    /// everything routed into it — the regional-outage shape the
+    /// federation layer fails over from.
+    pub fn set_up(&self, net: &mut Network, up: bool) {
+        net.set_node_up(self.fabric_node, up);
+        for pod in self.pods.values() {
+            net.set_node_up(pod.node, up);
+        }
+    }
+
+    /// Releases a Service from this cluster: unbinds its ClusterIP from
+    /// the fabric and forgets its endpoints. The address itself stays
+    /// valid — this is the first half of a site failover, freeing the IP
+    /// so a sibling cluster can [`Cluster::adopt_service`] it. Works
+    /// even while the fabric node is down (addresses are control-plane
+    /// state, not node state).
+    pub fn release_service(&mut self, net: &mut Network, svc: &ServiceHandle) {
+        net.remove_addr(self.fabric_node, svc.cluster_ip);
+        self.services.inner.borrow_mut().remove(&svc.cluster_ip);
+        self.service_handles.remove(&svc.key());
+    }
+
+    /// Adopts a Service released by a failed sibling cluster: binds the
+    /// *same* ClusterIP on this cluster's fabric and serves it from
+    /// `endpoints` (pods of this cluster). Clients keep dialling the
+    /// address they always did — the ClusterIP survives the site.
+    pub fn adopt_service(
+        &mut self,
+        net: &mut Network,
+        svc: &ServiceHandle,
+        endpoints: &[PodHandle],
+    ) {
+        net.add_addr(self.fabric_node, svc.cluster_ip);
+        self.services.inner.borrow_mut().insert(
+            svc.cluster_ip,
+            ServiceState {
+                key: svc.key(),
+                endpoints: endpoints.iter().map(|p| p.ip).collect(),
+                rr: 0,
+            },
+        );
+        let fqdn = format!("{}.{}.svc.{}", svc.name, svc.namespace, self.config.domain);
+        self.registry
+            .upsert(&fqdn, svc.cluster_ip, self.namespace_visibility(&svc.namespace));
+        self.service_handles.insert(svc.key(), svc.clone());
     }
 
     /// Attaches an external node (e.g. the P-GW) to the fabric and routes

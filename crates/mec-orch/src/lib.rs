@@ -32,10 +32,12 @@
 pub mod cluster;
 pub mod deployment;
 pub mod fabric;
+pub mod federation;
 pub mod monitor;
 pub mod registry;
 
 pub use cluster::{Cluster, ClusterConfig, PodHandle, ServiceHandle};
+pub use federation::Federation;
 pub use deployment::DeploymentHandle;
 pub use fabric::Fabric;
 pub use monitor::IngressMonitor;

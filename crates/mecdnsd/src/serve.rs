@@ -276,9 +276,15 @@ fn shard_loop(
     // reuses its datagram storage instead of allocating per packet.
     let mut batch: Vec<(Vec<u8>, SocketAddr)> = Vec::with_capacity(BATCH);
     let mut pool: Vec<Vec<u8>> = Vec::with_capacity(BATCH);
-    while !stop.load(Ordering::Relaxed) {
+    // Raised when this shard's socket is beyond recovery; the shard
+    // serves what it already drained and retires alone — the rest of
+    // the fleet keeps serving.
+    let mut retire = false;
+    while !retire && !stop.load(Ordering::Relaxed) {
         // First datagram: blocking, bounded by POLL so shutdown is
-        // always noticed.
+        // always noticed. Transient per-datagram failures — a Linux
+        // ECONNREFUSED surfaced by an ICMP unreachable for an earlier
+        // send, an EINTR — are counted and skipped, never fatal.
         match sock.recv_from(&mut recv_buf) {
             Ok((len, peer)) => stash(&recv_buf, len, peer, &mut batch, &mut pool),
             Err(e) if is_timeout(&e) => continue,
@@ -288,19 +294,31 @@ fn shard_loop(
             }
         }
         // Drain whatever else the kernel already queued, without
-        // blocking, then restore the polling timeout.
+        // blocking, then restore the polling timeout. Transient errors
+        // mid-drain are skipped and counted like on the blocking path,
+        // with a bound so a persistently erroring socket cannot spin
+        // the shard inside one wakeup.
         if sock.set_nonblocking(true).is_ok() {
+            let mut skipped = 0;
             while batch.len() < BATCH {
                 match sock.recv_from(&mut recv_buf) {
                     Ok((len, peer)) => stash(&recv_buf, len, peer, &mut batch, &mut pool),
-                    Err(_) => break,
+                    Err(e) if is_timeout(&e) => break, // queue drained
+                    Err(_) => {
+                        report.io_errors += 1;
+                        skipped += 1;
+                        if skipped >= BATCH {
+                            break;
+                        }
+                    }
                 }
             }
             if sock.set_nonblocking(false).is_err() {
-                // Cannot restore blocking mode: the receive loop would
-                // spin. Serve what we have and bail out.
+                // Cannot restore blocking mode: this shard's receive
+                // loop would spin. Serve what we have, then retire this
+                // shard without stopping the fleet.
                 report.io_errors += 1;
-                stop.store(true, Ordering::Relaxed);
+                retire = true;
             }
         }
         for (dgram, peer) in batch.drain(..) {
@@ -503,6 +521,43 @@ mod tests {
         }
         let report = handle.stop();
         assert_eq!(report.responses, 4);
+        assert_eq!(report.crashed_shards, 0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn connected_udp_icmp_refusal_is_counted_not_fatal() {
+        // Linux reports an async ICMP port-unreachable as ECONNREFUSED
+        // on the next receive of a *connected* UDP socket. Drive the
+        // real shard loop over such a socket: the error must be skipped
+        // and counted, and must never raise the fleet-wide stop flag or
+        // kill the shard.
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let dead = {
+            // Bind-then-drop: a port with provably nobody listening.
+            let s = UdpSocket::bind("127.0.0.1:0").unwrap();
+            s.local_addr().unwrap()
+        };
+        sock.connect(dead).unwrap();
+        sock.send(&[0u8; 12]).unwrap();
+        // Let the ICMP land before the loop's first receive.
+        std::thread::sleep(Duration::from_millis(50));
+        sock.set_read_timeout(Some(POLL)).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let shard_stop = Arc::clone(&stop);
+        let topo = ServeTopology::default();
+        let shard = std::thread::spawn(move || {
+            shard_loop(sock, &topo, WallClock::start(), &shard_stop)
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            !stop.load(Ordering::Relaxed),
+            "a transient socket error must not stop the fleet"
+        );
+        stop.store(true, Ordering::Relaxed);
+        let report = shard.join().expect("shard survived the refused receive");
+        assert!(report.io_errors >= 1, "the refused receive was counted");
+        assert_eq!(report.queries, 0);
         assert_eq!(report.crashed_shards, 0);
     }
 

@@ -36,6 +36,7 @@
 //! net.run();
 //! ```
 
+use crate::catchment::AnycastCatchment;
 use crate::network::{LinkId, LinkProfile, Network, NodeId};
 use crate::time::SimDuration;
 use std::cell::RefCell;
@@ -78,6 +79,19 @@ pub enum Fault {
         at: SimDuration,
         /// When the node restarts, if ever.
         until: Option<SimDuration>,
+    },
+    /// Anycast catchment flap: site `site` withdraws its advertisement
+    /// at `window.start` and re-advertises at `window.end`. Each flip
+    /// propagates only after the catchment's configured
+    /// withdraw/advertise delay, so traffic keeps landing on (and
+    /// blackholing at) a dead site for a bounded reconvergence window.
+    CatchmentFlap {
+        /// Shared handle on the catchment being flapped.
+        catchment: AnycastCatchment,
+        /// The site index withdrawing.
+        site: usize,
+        /// When the withdrawal is announced and when the site returns.
+        window: Range<SimDuration>,
     },
 }
 
@@ -130,6 +144,48 @@ impl FaultSchedule {
         self
     }
 
+    /// Flaps `site`'s anycast advertisement: withdraw announced at
+    /// `window.start`, re-advertisement at `window.end`, each subject to
+    /// the catchment's propagation delay.
+    pub fn flap_catchment(
+        mut self,
+        catchment: &AnycastCatchment,
+        site: usize,
+        window: Range<SimDuration>,
+    ) -> Self {
+        self.faults.push(Fault::CatchmentFlap {
+            catchment: catchment.clone(),
+            site,
+            window,
+        });
+        self
+    }
+
+    /// A whole-region outage over `window`: every node in `nodes`
+    /// crashes (restarting at the window's end), every backhaul link in
+    /// `links` partitions, and — if the region is a federated site —
+    /// its anycast advertisement flaps. This is the composed fault the
+    /// federation capstone drives: the pieces are the ordinary
+    /// `NodeDown`/`Partition`/`CatchmentFlap` plane, just aligned.
+    pub fn region_outage(
+        mut self,
+        nodes: &[NodeId],
+        links: &[LinkId],
+        catchment: Option<(&AnycastCatchment, usize)>,
+        window: Range<SimDuration>,
+    ) -> Self {
+        for &node in nodes {
+            self = self.crash_node(node, window.start, Some(window.end));
+        }
+        for &link in links {
+            self = self.partition_link(link, window.clone());
+        }
+        if let Some((catchment, site)) = catchment {
+            self = self.flap_catchment(catchment, site, window);
+        }
+        self
+    }
+
     /// Adds an already-built [`Fault`] (for schedules assembled from
     /// config data rather than builder calls).
     pub fn push(mut self, fault: Fault) -> Self {
@@ -170,6 +226,16 @@ impl FaultSchedule {
                         assert!(until > at, "restart must come after the crash");
                         net.schedule_call(until, move |net| net.set_node_up(node, true));
                     }
+                }
+                Fault::CatchmentFlap {
+                    catchment,
+                    site,
+                    window,
+                } => {
+                    assert!(window.end > window.start, "empty flap window");
+                    let down = catchment.clone();
+                    net.schedule_call(window.start, move |net| down.withdraw(net, site));
+                    net.schedule_call(window.end, move |net| catchment.advertise(net, site));
                 }
             }
         }
@@ -400,5 +466,146 @@ mod tests {
         }
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    /// Regression: a `NodeDown` and a `Partition` overlapping on the
+    /// same node/link must compose — the partition eats packets on the
+    /// wire (`dropped_packets`), the crash eats packets that *reach*
+    /// the dead node (`node_down_drops`), and both restores land
+    /// deterministically in their own order.
+    #[test]
+    fn overlapping_node_down_and_partition_compose_and_restore() {
+        fn run(seed: u64) -> (Vec<u64>, u64, u64, usize) {
+            let (mut net, a, link) = probe_world(seed);
+            let b = net.node_by_addr(ip("10.0.0.2")).unwrap();
+            // Probes at 0,100,...,1900 ms. Crash window [350, 1250),
+            // partition window [550, 1050) fully inside it.
+            FaultSchedule::new()
+                .crash_node(b, ms(350), Some(ms(1250)))
+                .partition_link(link, ms(550)..ms(1050))
+                .install(&mut net);
+            net.run();
+            let echoed: Vec<u64> = net
+                .behavior::<Prober>(a)
+                .echoed
+                .iter()
+                .map(|&(d, _)| d)
+                .collect();
+            let restarted = net.behavior::<Echo>(b).restarted;
+            assert!(net.node_is_up(b));
+            (echoed, net.dropped_packets, net.node_down_drops, restarted)
+        }
+        let (echoed, dropped, blackholed, restarted) = run(5);
+        let lost: Vec<u64> = (0..20).filter(|d| !echoed.contains(d)).collect();
+        // 4,5 and 11,12 die at the crashed node; 6..=10 die on the
+        // partitioned wire before ever reaching it.
+        assert_eq!(lost, vec![4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        assert_eq!(dropped, 5, "partition drops are link drops");
+        assert_eq!(blackholed, 4, "crash drops are node drops");
+        assert_eq!(restarted, 1, "one cold restart after both restores");
+        // The composed restore order is deterministic.
+        assert_eq!(run(5), run(5));
+    }
+
+    /// Regression: when the partition heals at the *same instant* the
+    /// node restarts, the restore order is fixed by schedule insertion
+    /// order and the epoch bump still voids pre-crash timers.
+    #[test]
+    fn simultaneous_restore_is_deterministic_and_epoch_correct() {
+        struct TickingEcho {
+            restarted: usize,
+            stale_fires: usize,
+        }
+        impl NodeBehavior for TickingEcho {
+            fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+                // Armed pre-crash: must never fire, even after restore.
+                ctx.set_timer(ms(700), 99);
+            }
+            fn on_timer(&mut self, _ctx: &mut NodeContext<'_>, _t: TimerToken, _d: u64) {
+                self.stale_fires += 1;
+            }
+            fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dgram: Datagram) {
+                ctx.send_datagram(dgram.reply_with(dgram.payload.clone()));
+            }
+            fn on_restart(&mut self, _ctx: &mut NodeContext<'_>) {
+                self.restarted += 1;
+            }
+        }
+        fn run(seed: u64) -> Vec<u64> {
+            let mut net = Network::new(seed);
+            let a = net.add_node(
+                "probe",
+                [ip("10.0.0.1")],
+                Prober {
+                    target: ip("10.0.0.2"),
+                    count: 12,
+                    sent: vec![],
+                    echoed: vec![],
+                },
+            );
+            let b = net.add_node(
+                "echo",
+                [ip("10.0.0.2")],
+                TickingEcho {
+                    restarted: 0,
+                    stale_fires: 0,
+                },
+            );
+            let link = net.connect(a, b, LinkProfile::with_latency(Latency::ConstantMs(1.0)));
+            // Both faults restore at exactly 850 ms.
+            FaultSchedule::new()
+                .crash_node(b, ms(450), Some(ms(850)))
+                .partition_link(link, ms(250)..ms(850))
+                .install(&mut net);
+            net.run();
+            let echo = net.behavior::<TickingEcho>(b);
+            assert_eq!(echo.restarted, 1);
+            assert_eq!(echo.stale_fires, 0, "pre-crash timer must stay void");
+            net.behavior::<Prober>(a)
+                .echoed
+                .iter()
+                .map(|&(d, _)| d)
+                .collect()
+        }
+        let echoed = run(6);
+        // 3..=8 are lost (partition from 250 ms, crash inside it);
+        // service resumes with probe 9 at 900 ms.
+        assert_eq!(echoed, vec![0, 1, 2, 9, 10, 11]);
+        assert_eq!(run(6), run(6));
+    }
+
+    #[test]
+    fn region_outage_composes_crash_partition_and_catchment_flap() {
+        use crate::catchment::AnycastCatchment;
+        let (mut net, a, link) = probe_world(8);
+        let b = net.node_by_addr(ip("10.0.0.2")).unwrap();
+        let catchment = AnycastCatchment::new(ip("198.18.0.53"), [ip("10.0.0.2")])
+            .with_withdraw_delay(ms(100))
+            .with_advertise_delay(ms(100));
+        FaultSchedule::new()
+            .region_outage(&[b], &[link], Some((&catchment, 0)), ms(450)..ms(1050))
+            .install(&mut net);
+        assert!(catchment.is_advertised(0));
+        net.run_until(SimTime::ZERO + ms(540));
+        // Withdraw announced at 450 ms converges at 550 ms.
+        assert!(catchment.is_advertised(0), "withdraw still propagating");
+        net.run_until(SimTime::ZERO + ms(560));
+        assert!(!catchment.is_advertised(0), "withdraw converged");
+        net.run_until(SimTime::ZERO + ms(1160));
+        assert!(catchment.is_advertised(0), "re-advertised after the window");
+        net.run();
+        // The node crash and the partition both took effect: probes
+        // 5..=10 are gone, split across the two drop counters.
+        let echoed: Vec<u64> = net
+            .behavior::<Prober>(a)
+            .echoed
+            .iter()
+            .map(|&(d, _)| d)
+            .collect();
+        let lost: Vec<u64> = (0..20).filter(|d| !echoed.contains(d)).collect();
+        assert_eq!(lost, vec![5, 6, 7, 8, 9, 10]);
+        assert_eq!(net.dropped_packets, 6, "partition claims them on the wire");
+        assert_eq!(net.node_down_drops, 0, "nothing survives to reach the node");
+        assert_eq!(catchment.convergences(), 2);
     }
 }

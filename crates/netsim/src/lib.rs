@@ -51,6 +51,7 @@
 //! ```
 
 pub mod addr;
+pub mod catchment;
 pub mod dist;
 pub mod faults;
 pub mod network;
@@ -63,6 +64,7 @@ pub mod time;
 pub mod trace;
 
 pub use addr::Cidr;
+pub use catchment::{AnycastCatchment, AnycastGateway};
 pub use dist::Latency;
 pub use faults::{Fault, FaultSchedule};
 pub use network::{LinkId, LinkProfile, Network, NodeId};

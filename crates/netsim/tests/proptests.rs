@@ -228,6 +228,54 @@ proptest! {
         let back: Cidr = c.to_string().parse().unwrap();
         prop_assert_eq!(back, c);
     }
+
+    /// Anycast site selection is a pure function of
+    /// `(client, advertised-site set)`: rebuilding the catchment from
+    /// scratch with the same advertisement mask gives the same site for
+    /// every client, the selected site is always advertised, and the
+    /// selection never depends on the order withdrawals happened.
+    #[test]
+    fn catchment_selection_is_pure_in_client_and_advertised_set(
+        clients in proptest::collection::vec(any::<u32>(), 1..20),
+        n_sites in 1usize..6,
+        mask in any::<u8>(),
+        withdraw_order in proptest::collection::vec(any::<u8>(), 0..12),
+    ) {
+        use netsim::AnycastCatchment;
+        let anycast = ip("198.18.0.53");
+        let site_addrs: Vec<IpAddr> =
+            (0..n_sites).map(|i| IpAddr::V4((0x0a64_000a + ((i as u32) << 8)).into())).collect();
+        let advertised: Vec<bool> = (0..n_sites).map(|i| mask & (1 << i) != 0).collect();
+
+        // World A: apply the mask directly, ascending.
+        let a = AnycastCatchment::new(anycast, site_addrs.iter().copied());
+        for (i, &adv) in advertised.iter().enumerate() {
+            a.set_advertised(i, adv);
+        }
+        // World B: reach the same advertised set via an arbitrary
+        // sequence of redundant withdraw/advertise flips.
+        let b = AnycastCatchment::new(anycast, site_addrs.iter().copied());
+        for &step in &withdraw_order {
+            b.set_advertised(usize::from(step) % n_sites, step & 0x80 != 0);
+        }
+        for (i, &adv) in advertised.iter().enumerate() {
+            b.set_advertised(i, adv);
+        }
+
+        for &c in &clients {
+            let client = IpAddr::V4(c.into());
+            let sel_a = a.select(client);
+            prop_assert_eq!(sel_a, b.select(client), "history must not matter");
+            prop_assert_eq!(sel_a, a.select(client), "re-asking must not matter");
+            match sel_a {
+                Some(i) => prop_assert!(advertised[i], "selected site is advertised"),
+                None => prop_assert!(
+                    advertised.iter().all(|&adv| !adv),
+                    "None only when nothing advertises"
+                ),
+            }
+        }
+    }
 }
 
 #[test]

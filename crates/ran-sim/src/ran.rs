@@ -23,12 +23,21 @@ struct EnbBehavior;
 impl NodeBehavior for EnbBehavior {}
 
 /// The radio access network: one EPC, one or more eNBs, attached UEs.
+///
+/// In a federated deployment eNBs belong to *MEC sites* (the metro
+/// region whose edge cloud serves their traffic). Intra-site handoffs
+/// are the fast X2 kind; handoffs *between* sites relocate the S1
+/// bearer and pay a longer interruption — and, because the new site's
+/// caches have never seen this UE, any cache-state locality is lost
+/// (measured by the federation experiment, not simulated here).
 pub struct Ran {
     /// The core this RAN feeds into.
     pub epc: Epc,
     config: EpcConfig,
     enbs: Vec<NodeId>,
     backhaul_links: Vec<LinkId>,
+    /// Which MEC site each eNB belongs to (same index as `enbs`).
+    enb_sites: Vec<usize>,
     next_ue: u64,
     telemetry: Telemetry,
     /// Control-plane attach latency (RACH + RRC setup + NAS attach over
@@ -38,6 +47,9 @@ pub struct Ran {
     /// Data-plane interruption during an X2 handoff (typical LTE
     /// interruption is a few tens of ms).
     pub handoff_interruption: SimDuration,
+    /// Data-plane interruption during an *inter-site* handoff: S1-based
+    /// relocation through the core, several times the X2 cost.
+    pub inter_site_interruption: SimDuration,
 }
 
 impl Ran {
@@ -49,10 +61,12 @@ impl Ran {
             config,
             enbs: Vec::new(),
             backhaul_links: Vec::new(),
+            enb_sites: Vec::new(),
             next_ue: 0,
             telemetry: Telemetry::default(),
             attach_delay: SimDuration::from_millis(100),
             handoff_interruption: SimDuration::from_millis(50),
+            inter_site_interruption: SimDuration::from_millis(150),
         }
     }
 
@@ -61,9 +75,15 @@ impl Ran {
         self.telemetry = t;
     }
 
-    /// Adds an eNB connected to the S-GW over the configured backhaul.
-    /// Returns its index.
+    /// Adds an eNB (at MEC site 0) connected to the S-GW over the
+    /// configured backhaul. Returns its index.
     pub fn add_enb(&mut self, net: &mut Network) -> usize {
+        self.add_enb_at_site(net, 0)
+    }
+
+    /// Adds an eNB belonging to MEC site `site`, connected to the S-GW
+    /// over the configured backhaul. Returns its index.
+    pub fn add_enb_at_site(&mut self, net: &mut Network, site: usize) -> usize {
         let idx = self.enbs.len();
         // eNB addresses live outside the UE pool, in a RAN segment.
         let addr: IpAddr = format!("10.43.0.{}", idx + 1).parse().unwrap();
@@ -72,12 +92,29 @@ impl Ran {
         net.add_default_route(enb, self.epc.sgw);
         self.enbs.push(enb);
         self.backhaul_links.push(link);
+        self.enb_sites.push(site);
         idx
     }
 
     /// eNB node by index.
     pub fn enb(&self, idx: usize) -> NodeId {
         self.enbs[idx]
+    }
+
+    /// Which MEC site eNB `idx` belongs to.
+    pub fn enb_site(&self, idx: usize) -> usize {
+        self.enb_sites[idx]
+    }
+
+    /// The eNB indices belonging to MEC site `site` (the handle a
+    /// region-outage schedule starts from).
+    pub fn enbs_at_site(&self, site: usize) -> Vec<usize> {
+        self.enb_sites
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == site)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// The eNB↔S-GW backhaul link by eNB index — the handle a fault
@@ -128,9 +165,12 @@ impl Ran {
         }
     }
 
-    /// X2-style handoff: the old radio closes immediately, the new one
-    /// opens after [`Ran::handoff_interruption`], and the S-GW's serving
-    /// route follows. Returns the updated attachment.
+    /// Handoff to another cell: the old radio closes immediately, the
+    /// new one opens after the interruption, and the S-GW's serving
+    /// route follows. Within one MEC site this is the X2 procedure
+    /// ([`Ran::handoff_interruption`]); *between* sites the bearer
+    /// relocates over S1 and pays [`Ran::inter_site_interruption`].
+    /// Returns the updated attachment.
     pub fn handoff(
         &mut self,
         net: &mut Network,
@@ -139,6 +179,12 @@ impl Ran {
         radio: RadioProfile,
     ) -> UeAttachment {
         assert_ne!(att.enb, to_enb, "handoff to the serving cell");
+        let inter_site = self.enb_sites.get(att.enb) != self.enb_sites.get(to_enb);
+        let interruption = if inter_site {
+            self.inter_site_interruption
+        } else {
+            self.handoff_interruption
+        };
         // Tear down the old radio.
         net.set_link_profile(
             att.radio_link,
@@ -150,14 +196,17 @@ impl Ran {
         let ue_node = att.node;
         let ue_ip = att.ip;
         let sgw = self.epc.sgw;
-        net.schedule_call(self.handoff_interruption, move |n| {
+        net.schedule_call(interruption, move |n| {
             n.set_link_profile(new_link, profile);
             n.add_default_route(ue_node, new_enb);
             n.add_route(sgw, netsim::Cidr::host(ue_ip), new_enb);
         });
         self.telemetry.incr("ran.handoff");
+        if inter_site {
+            self.telemetry.incr("ran.handoff.inter_site");
+        }
         self.telemetry
-            .observe("ran.handoff_interruption", self.handoff_interruption);
+            .observe("ran.handoff_interruption", interruption);
         UeAttachment {
             node: att.node,
             ip: att.ip,
@@ -331,5 +380,64 @@ mod tests {
     fn handoff_to_same_cell_rejected() {
         let (mut net, mut ran, ue, _server) = build_world(5, 1);
         ran.handoff(&mut net, ue, 0, RadioProfile::Lte);
+    }
+
+    #[test]
+    fn inter_site_handoff_pays_the_longer_interruption() {
+        // Two worlds, identical except for the target cell's site: the
+        // S1 relocation must lose strictly more probes than X2.
+        fn run(seed: u64, inter_site: bool) -> (usize, Telemetry) {
+            let mut net = Network::new(seed);
+            let mut ran = Ran::build(&mut net, EpcConfig::default());
+            let t = Telemetry::default();
+            ran.set_telemetry(t.clone());
+            ran.add_enb_at_site(&mut net, 0);
+            ran.add_enb_at_site(&mut net, usize::from(inter_site));
+            assert_eq!(ran.enb_site(0), 0);
+            assert_eq!(ran.enbs_at_site(0).len(), if inter_site { 1 } else { 2 });
+            let server = net.add_node("server", [ip("198.51.100.10")], Echo);
+            net.connect(
+                ran.epc.pgw,
+                server,
+                LinkProfile::with_latency(Latency::ConstantMs(1.0)),
+            );
+            net.add_default_route(server, ran.epc.pgw);
+            // A dense probe train so the interruption length is visible
+            // in the loss count: one probe every 5 ms.
+            struct Dense(Pinger);
+            impl NodeBehavior for Dense {
+                fn on_start(&mut self, ctx: &mut NodeContext<'_>) {
+                    for i in 0..self.0.count {
+                        ctx.set_timer(SimDuration::from_millis(5 * i), i);
+                    }
+                }
+                fn on_timer(&mut self, ctx: &mut NodeContext<'_>, t: TimerToken, i: u64) {
+                    self.0.on_timer(ctx, t, i);
+                }
+                fn on_datagram(&mut self, ctx: &mut NodeContext<'_>, dgram: Datagram) {
+                    self.0.on_datagram(ctx, dgram);
+                }
+            }
+            let ue = ran.attach_ue(
+                &mut net,
+                "ue",
+                Dense(Pinger::new(ip("198.51.100.10"), 160)),
+                0,
+                RadioProfile::Lte,
+            );
+            net.run_until(SimTime::ZERO + SimDuration::from_millis(300));
+            ran.handoff(&mut net, ue, 1, RadioProfile::Lte);
+            net.run();
+            (net.behavior::<Dense>(ue.node).0.got.len(), t)
+        }
+        let (intra, t_intra) = run(9, false);
+        let (inter, t_inter) = run(9, true);
+        assert!(
+            inter < intra,
+            "S1 relocation ({inter} echoes) must lose more than X2 ({intra})"
+        );
+        assert_eq!(t_intra.counter("ran.handoff"), 1);
+        assert_eq!(t_intra.counter("ran.handoff.inter_site"), 0);
+        assert_eq!(t_inter.counter("ran.handoff.inter_site"), 1);
     }
 }
