@@ -16,6 +16,7 @@
 //! Both forms require a non-empty justification and are counted in the
 //! report, so every exemption stays reviewable.
 
+use crate::concurrency::{cycle_edge_indices, cycle_finding, LockEdge};
 use crate::lexer::{lex, Comment, TokKind, Token};
 use crate::rules::RuleId;
 
@@ -32,6 +33,11 @@ pub struct Finding {
     pub status: Status,
     /// Justification text when `status` is `Allowed`.
     pub justification: Option<String>,
+    /// For transitively-hot findings: the shortest call-graph path from
+    /// a hot root to the function containing the finding, as
+    /// `file::fn` strings (root first). `None` for findings whose rule
+    /// applies to the whole file.
+    pub path: Option<Vec<String>>,
 }
 
 /// Whether a finding fails the gate or was explicitly exempted.
@@ -62,6 +68,9 @@ pub struct ScanResult {
     /// Allow annotations that suppressed nothing (stale exemptions —
     /// reported so they get cleaned up).
     pub unused_allows: Vec<(String, u32)>,
+    /// Lock-acquisition-order edges observed in this file, for the
+    /// workspace-level cross-file cycle pass.
+    pub lock_edges: Vec<LockEdge>,
 }
 
 /// An `allow` / `allow-item` annotation parsed from a comment.
@@ -161,13 +170,70 @@ const ORDER_INSENSITIVE: &[&str] = &[
 /// Panicking macros denied on the hot path.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// Constructors of heap-backed containers: denied — together with
+/// `vec!`/`format!` and the owning conversions — on zero-alloc paths.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "Box", "String", "VecDeque", "BTreeMap", "BTreeSet", "HashMap", "HashSet", "Rc", "Arc",
+];
+
+/// Owning-conversion methods that allocate (`Arc::clone(&x)` — the
+/// path-call form — is the non-allocating escape for refcount bumps).
+const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec", "clone"];
+
 struct Scope {
     test: bool,
 }
 
+/// One transitively-hot function span within a file.
+#[derive(Debug, Clone)]
+pub struct HotSpan {
+    /// First line of the function (inclusive).
+    pub start: u32,
+    /// Last line of the function (inclusive).
+    pub end: u32,
+    /// Shortest root→…→fn call-graph path (`file::fn` strings).
+    pub path: Vec<String>,
+}
+
+/// Where the hot-path rule families apply within one file.
+#[derive(Debug, Default)]
+pub struct HotScope {
+    /// `None`: `hot-panic`/`hot-index` (when enabled) apply file-wide —
+    /// the mode for hot-root files and lint fixtures. `Some(spans)`:
+    /// only inside the transitively-hot spans.
+    pub hot: Option<Vec<HotSpan>>,
+    /// Same, for `hot-alloc` (its roots are functions, so even root
+    /// files get span scoping here).
+    pub alloc: Option<Vec<HotSpan>>,
+}
+
+/// `None`: the line is outside every hot span — suppress the finding.
+/// `Some(path)`: emit it, attaching the (possibly empty) root path.
+fn gate(spans: &Option<Vec<HotSpan>>, line: u32) -> Option<Vec<String>> {
+    match spans {
+        None => Some(Vec::new()),
+        Some(list) => list
+            .iter()
+            .find(|s| line >= s.start && line <= s.end)
+            .map(|s| s.path.clone()),
+    }
+}
+
 /// Scans `src` (whose diagnostics carry `file` as their path) with the
-/// given rules enabled.
+/// given rules enabled, applying hot rules file-wide.
 pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
+    scan_source_scoped(file, src, rules, &HotScope::default())
+}
+
+/// [`scan_source`] with explicit hot-span scoping (the workspace walk
+/// uses this to apply hot rules only inside transitively-hot
+/// functions of non-root files).
+pub fn scan_source_scoped(
+    file: &str,
+    src: &str,
+    rules: &[RuleId],
+    scope: &HotScope,
+) -> ScanResult {
     let lexed = lex(src);
     let toks = &lexed.tokens;
     let lines: Vec<&str> = src.lines().collect();
@@ -191,7 +257,7 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
     let want = |r: RuleId| rules.contains(&r);
 
     let mut raw: Vec<Finding> = Vec::new();
-    let mut push = |rule: RuleId, t: &Token, message: String| {
+    let mut push = |rule: RuleId, t: &Token, message: String, path: Vec<String>| {
         raw.push(Finding {
             rule,
             file: file.to_string(),
@@ -201,6 +267,7 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
             snippet: snippet(t.line),
             status: Status::Deny,
             justification: None,
+            path: if path.is_empty() { None } else { Some(path) },
         });
     };
 
@@ -289,6 +356,7 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
                             RuleId::UnsafeComment,
                             t,
                             "`unsafe` without a `// SAFETY:` comment within 3 lines".into(),
+                            Vec::new(),
                         );
                     }
                 }
@@ -303,6 +371,7 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
                             RuleId::WallClock,
                             t,
                             format!("wall-clock read `{id}::now()`; use virtual SimTime"),
+                            Vec::new(),
                         );
                     }
                     // (D) ambient randomness.
@@ -313,6 +382,7 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
                             RuleId::AmbientRandom,
                             t,
                             format!("ambient randomness `{id}`; derive from the trial seed"),
+                            Vec::new(),
                         );
                     }
                     // (D) environment reads: `std :: env`.
@@ -326,6 +396,7 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
                             RuleId::EnvRead,
                             t,
                             "process environment read via `std::env`".into(),
+                            Vec::new(),
                         );
                     }
                     // (D) unordered map iteration.
@@ -340,6 +411,7 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
                                          `.{method}()`; sort, collect into a BTreeMap, or \
                                          reduce order-insensitively"
                                     ),
+                                    Vec::new(),
                                 );
                             }
                         } else if for_loop_over(toks, i) && !iter_exempt(toks, i, i) {
@@ -350,30 +422,84 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
                                     "unordered `for` iteration over hash-keyed `{id}`; \
                                      iterate a sorted copy or switch to BTreeMap"
                                 ),
+                                Vec::new(),
                             );
                         }
                     }
                     // (P) panics.
                     if want(RuleId::HotPanic) {
-                        if matches!(id.as_str(), "unwrap" | "expect")
-                            && i > 0
-                            && toks[i - 1].is_punct('.')
-                            && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
-                        {
-                            push(
-                                RuleId::HotPanic,
-                                t,
-                                format!("`.{id}()` on the hot path; handle the None/Err case"),
-                            );
+                        if let Some(path) = gate(&scope.hot, t.line) {
+                            if matches!(id.as_str(), "unwrap" | "expect")
+                                && i > 0
+                                && toks[i - 1].is_punct('.')
+                                && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+                            {
+                                push(
+                                    RuleId::HotPanic,
+                                    t,
+                                    format!("`.{id}()` on the hot path; handle the None/Err case"),
+                                    path.clone(),
+                                );
+                            }
+                            if PANIC_MACROS.contains(&id.as_str())
+                                && toks.get(i + 1).is_some_and(|a| a.is_punct('!'))
+                            {
+                                push(
+                                    RuleId::HotPanic,
+                                    t,
+                                    format!("`{id}!` on the hot path; return an error instead"),
+                                    path,
+                                );
+                            }
                         }
-                        if PANIC_MACROS.contains(&id.as_str())
-                            && toks.get(i + 1).is_some_and(|a| a.is_punct('!'))
-                        {
-                            push(
-                                RuleId::HotPanic,
-                                t,
-                                format!("`{id}!` on the hot path; return an error instead"),
-                            );
+                    }
+                    // (P) allocation on a zero-alloc path.
+                    if want(RuleId::HotAlloc) {
+                        if let Some(path) = gate(&scope.alloc, t.line) {
+                            if matches!(id.as_str(), "vec" | "format")
+                                && toks.get(i + 1).is_some_and(|a| a.is_punct('!'))
+                            {
+                                push(
+                                    RuleId::HotAlloc,
+                                    t,
+                                    format!(
+                                        "`{id}!` allocates; this function must stay \
+                                         allocation-free"
+                                    ),
+                                    path.clone(),
+                                );
+                            }
+                            if ALLOC_TYPES.contains(&id.as_str()) {
+                                for member in ["new", "with_capacity", "from"] {
+                                    if path_call(toks, i, member) {
+                                        push(
+                                            RuleId::HotAlloc,
+                                            t,
+                                            format!(
+                                                "`{id}::{member}` allocates; this function \
+                                                 must stay allocation-free"
+                                            ),
+                                            path.clone(),
+                                        );
+                                        break;
+                                    }
+                                }
+                            }
+                            if ALLOC_METHODS.contains(&id.as_str())
+                                && i > 0
+                                && toks[i - 1].is_punct('.')
+                                && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+                            {
+                                push(
+                                    RuleId::HotAlloc,
+                                    t,
+                                    format!(
+                                        "`.{id}()` allocates; borrow, reuse a buffer, or \
+                                         use `Arc::clone(&..)` for refcount bumps"
+                                    ),
+                                    path,
+                                );
+                            }
                         }
                     }
                 }
@@ -395,18 +521,51 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
                         _ => false,
                     };
                     if indexing {
-                        push(
-                            RuleId::HotIndex,
-                            t,
-                            "unchecked indexing on the hot path; use `.get(..)` or annotate \
-                             the invariant"
-                                .into(),
-                        );
+                        if let Some(path) = gate(&scope.hot, t.line) {
+                            push(
+                                RuleId::HotIndex,
+                                t,
+                                "unchecked indexing on the hot path; use `.get(..)` or \
+                                 annotate the invariant"
+                                    .into(),
+                                path,
+                            );
+                        }
                     }
                 }
             _ => {}
         }
         i += 1;
+    }
+
+    // --- (C) concurrency family ---------------------------------------
+    let conc_rules: Vec<RuleId> = rules.iter().copied().filter(|r| r.family() == 'C').collect();
+    let mut lock_edges: Vec<LockEdge> = Vec::new();
+    if !conc_rules.is_empty() {
+        let symbols = crate::symbols::extract(file, &lexed);
+        let conc = crate::concurrency::analyze(file, &lexed, &symbols, &conc_rules);
+        let mut conc_findings = conc.findings;
+        // Intra-file lock-order cycles are detectable (and fixable)
+        // locally; the workspace pass adds only cross-file ones.
+        if conc_rules.contains(&RuleId::LockOrder) {
+            for ci in cycle_edge_indices(&conc.edges) {
+                conc_findings.push(cycle_finding(&conc.edges[ci]));
+            }
+        }
+        for cf in conc_findings {
+            raw.push(Finding {
+                rule: cf.rule,
+                file: file.to_string(),
+                line: cf.line,
+                col: cf.col,
+                message: cf.message,
+                snippet: snippet(cf.line),
+                status: Status::Deny,
+                justification: None,
+                path: None,
+            });
+        }
+        lock_edges = conc.edges;
     }
 
     // --- Apply allow annotations --------------------------------------
@@ -491,6 +650,7 @@ pub fn scan_source(file: &str, src: &str, rules: &[RuleId]) -> ScanResult {
     ScanResult {
         findings: raw,
         unused_allows,
+        lock_edges,
     }
 }
 

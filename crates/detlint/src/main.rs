@@ -1,7 +1,9 @@
 //! The `detlint` binary: scans the workspace and reports determinism,
 //! hot-path-panic and unsafe-hygiene findings. See `--help`.
 
-use detlint::{find_workspace_root, scan_workspace, Baseline, ALL_RULES};
+use detlint::{
+    find_workspace_root, scan_workspace_with, Baseline, WorkspaceOptions, ALL_RULES,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -23,6 +25,13 @@ OPTIONS:
                              (reported as `baselined`, never denied)
     --write-baseline <FILE>  Write the current denied findings to FILE as a
                              baseline, then exit 0
+    --counts <FILE>          Compare per-rule finding counts against FILE
+                             (the committed CI drift baseline); drift is an
+                             error even when the findings are annotated
+    --write-counts <FILE>    Write the current per-rule counts to FILE,
+                             then exit 0
+    --hot-root <PATH>        Add PATH (workspace-relative) as an extra
+                             hot-path root file; repeatable
     --allows                 Also print every allowed (annotated) finding,
                              with its justification
     --list-rules             Print the rule catalogue and exit
@@ -30,7 +39,8 @@ OPTIONS:
 
 EXIT CODES:
     0  clean (or findings present but --deny not given)
-    1  --deny and at least one un-annotated, un-baselined finding
+    1  --deny and at least one un-annotated, un-baselined finding,
+       or --counts and the per-rule counts drifted
     2  usage or I/O error
 
 SUPPRESSIONS (always counted and reported):
@@ -46,6 +56,9 @@ struct Opts {
     json_out: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    counts: Option<PathBuf>,
+    write_counts: Option<PathBuf>,
+    hot_roots: Vec<String>,
     allows: bool,
 }
 
@@ -57,6 +70,9 @@ fn parse_args() -> Result<Option<Opts>, String> {
         json_out: None,
         baseline: None,
         write_baseline: None,
+        counts: None,
+        write_counts: None,
+        hot_roots: Vec::new(),
         allows: false,
     };
     // detlint: allow(env-read) — the linter's own CLI must read argv; this
@@ -75,6 +91,11 @@ fn parse_args() -> Result<Option<Opts>, String> {
             "--json-out" => opts.json_out = Some(path_arg(&mut args)?),
             "--baseline" => opts.baseline = Some(path_arg(&mut args)?),
             "--write-baseline" => opts.write_baseline = Some(path_arg(&mut args)?),
+            "--counts" => opts.counts = Some(path_arg(&mut args)?),
+            "--write-counts" => opts.write_counts = Some(path_arg(&mut args)?),
+            "--hot-root" => opts
+                .hot_roots
+                .push(path_arg(&mut args)?.to_string_lossy().into_owned()),
             "--allows" => opts.allows = true,
             "--list-rules" => {
                 for r in ALL_RULES {
@@ -100,7 +121,10 @@ fn run(opts: Opts) -> Result<ExitCode, String> {
         .root
         .clone()
         .unwrap_or_else(|| find_workspace_root(&cwd));
-    let mut report = scan_workspace(&root).map_err(|e| format!("scan failed: {e}"))?;
+    let mut wopts = WorkspaceOptions::default();
+    wopts.hot_root_files.extend(opts.hot_roots.iter().cloned());
+    let mut report =
+        scan_workspace_with(&root, &wopts).map_err(|e| format!("scan failed: {e}"))?;
 
     if let Some(path) = &opts.baseline {
         let text = std::fs::read_to_string(path)
@@ -119,6 +143,24 @@ fn run(opts: Opts) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    if let Some(path) = &opts.write_counts {
+        std::fs::write(path, report.render_counts())
+            .map_err(|e| format!("cannot write counts {}: {e}", path.display()))?;
+        eprintln!("detlint: wrote per-rule counts to {}", path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut counts_drift = false;
+    if let Some(path) = &opts.counts {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read counts {}: {e}", path.display()))?;
+        let drift = report.check_counts(&text);
+        counts_drift = !drift.is_empty();
+        for line in &drift {
+            eprintln!("detlint: counts drift: {line}");
+        }
+    }
+
     let json = report.render_json();
     if let Some(path) = &opts.json_out {
         std::fs::write(path, &json)
@@ -130,7 +172,7 @@ fn run(opts: Opts) -> Result<ExitCode, String> {
         print!("{}", report.render_text(opts.allows));
     }
 
-    if opts.deny && report.deny_count() > 0 {
+    if counts_drift || (opts.deny && report.deny_count() > 0) {
         Ok(ExitCode::FAILURE)
     } else {
         Ok(ExitCode::SUCCESS)

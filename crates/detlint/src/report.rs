@@ -13,7 +13,10 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema version of the JSON report; bump on any breaking change.
-pub const JSON_SCHEMA_VERSION: u32 = 1;
+/// v2: findings gained a `"path"` field (the call-graph route from a
+/// hot root to a transitively-hot finding), and the rule catalogue
+/// gained `hot-alloc` plus the (C) concurrency family.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
 
 /// Aggregate result of scanning a set of files.
 #[derive(Debug, Default)]
@@ -112,22 +115,27 @@ impl Report {
         out
     }
 
-    /// Machine-readable rendering. Schema (version 1):
+    /// Machine-readable rendering. Schema (version 2):
     ///
     /// ```json
     /// {
-    ///   "detlint_schema": 1,
+    ///   "detlint_schema": 2,
     ///   "files_scanned": N,
     ///   "counts": {"deny": N, "allowed": N, "baselined": N},
     ///   "by_rule": {"<rule>": {"deny": N, "allowed": N, "baselined": N}, ...},
     ///   "findings": [
     ///     {"rule": "...", "family": "D", "file": "...", "line": N,
     ///      "column": N, "status": "deny|allowed|baselined",
-    ///      "message": "...", "snippet": "...", "justification": "..."|null}
+    ///      "message": "...", "snippet": "...", "justification": "..."|null,
+    ///      "path": ["file::root_fn", ..., "file::fn"]|null}
     ///   ],
     ///   "unused_allows": [{"file": "...", "line": N, "message": "..."}]
     /// }
     /// ```
+    ///
+    /// `"path"` is the shortest call-graph route by which a hot root
+    /// reaches the finding's function; `null` when the finding's rule
+    /// applies to its whole file directly.
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -164,7 +172,7 @@ impl Report {
                 out,
                 "{}\n    {{\"rule\": \"{}\", \"family\": \"{}\", \"file\": {}, \"line\": {}, \
                  \"column\": {}, \"status\": \"{}\", \"message\": {}, \"snippet\": {}, \
-                 \"justification\": {}}}",
+                 \"justification\": {}, \"path\": {}}}",
                 if i == 0 { "" } else { "," },
                 f.rule.name(),
                 f.rule.family(),
@@ -176,6 +184,13 @@ impl Report {
                 json_str(&f.snippet),
                 match &f.justification {
                     Some(j) => json_str(j),
+                    None => "null".to_string(),
+                },
+                match &f.path {
+                    Some(p) => format!(
+                        "[{}]",
+                        p.iter().map(|s| json_str(s)).collect::<Vec<_>>().join(", ")
+                    ),
                     None => "null".to_string(),
                 }
             );
@@ -202,6 +217,58 @@ impl Report {
         });
         out.push_str("}\n");
         out
+    }
+    /// Per-rule finding counts in a stable text form, for the CI drift
+    /// gate: `rule<TAB>deny<TAB>allowed<TAB>baselined`, one line per
+    /// catalogue rule, preceded by a comment header.
+    pub fn render_counts(&self) -> String {
+        let mut out = String::from(
+            "# detlint finding counts by rule (deny<TAB>allowed<TAB>baselined).\n\
+             # CI diffs this against the committed baseline; regenerate with\n\
+             # `detlint --write-counts <file>` and justify the drift in the PR.\n",
+        );
+        for rule in ALL_RULES {
+            let (mut d, mut a, mut b) = (0, 0, 0);
+            for f in self.findings.iter().filter(|f| f.rule == *rule) {
+                match f.status {
+                    Status::Deny => d += 1,
+                    Status::Allowed => a += 1,
+                    Status::Baselined => b += 1,
+                }
+            }
+            let _ = writeln!(out, "{}\t{d}\t{a}\t{b}", rule.name());
+        }
+        out
+    }
+
+    /// Compares this report's counts against a committed counts file.
+    /// Returns every drifted rule as a human-readable line.
+    pub fn check_counts(&self, committed: &str) -> Vec<String> {
+        let expected: BTreeMap<&str, &str> = committed
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| l.split_once('\t'))
+            .collect();
+        let mut drift = Vec::new();
+        for line in self.render_counts().lines().filter(|l| !l.starts_with('#')) {
+            let Some((rule, got)) = line.split_once('\t') else {
+                continue;
+            };
+            match expected.get(rule) {
+                Some(want) if *want == got => {}
+                Some(want) => drift.push(format!(
+                    "{rule}: counts drifted (deny/allowed/baselined): committed {}, now {}",
+                    want.replace('\t', "/"),
+                    got.replace('\t', "/")
+                )),
+                None => drift.push(format!(
+                    "{rule}: missing from the committed counts file (now {})",
+                    got.replace('\t', "/")
+                )),
+            }
+        }
+        drift
     }
 }
 

@@ -64,6 +64,11 @@ fn bad_fixture_counts_are_exact() {
         (RuleId::MapIter, 3),
         (RuleId::HotPanic, 4),
         (RuleId::HotIndex, 3),
+        (RuleId::HotAlloc, 6),
+        (RuleId::AtomicOrder, 3),
+        (RuleId::LockOrder, 3),
+        (RuleId::LockUnwrap, 3),
+        (RuleId::GuardBlocking, 2),
         (RuleId::UnsafeComment, 1),
     ];
     for (rule, n) in expect {
@@ -156,6 +161,10 @@ fn json_schema_is_stable() {
             snippet: "let t = Instant::now();".into(),
             status: Status::Deny,
             justification: None,
+            path: Some(vec![
+                "crates/x/src/lib.rs::root".into(),
+                "crates/x/src/lib.rs::leaf".into(),
+            ]),
         }],
         unused_allows: vec![],
         files_scanned: 1,
@@ -163,7 +172,7 @@ fn json_schema_is_stable() {
     report.canonicalize();
     let expected = concat!(
         "{\n",
-        "  \"detlint_schema\": 1,\n",
+        "  \"detlint_schema\": 2,\n",
         "  \"files_scanned\": 1,\n",
         "  \"counts\": {\"deny\": 1, \"allowed\": 0, \"baselined\": 0},\n",
         "  \"by_rule\": {\n",
@@ -173,13 +182,19 @@ fn json_schema_is_stable() {
         "    \"map-iter\": {\"deny\": 0, \"allowed\": 0, \"baselined\": 0},\n",
         "    \"hot-panic\": {\"deny\": 0, \"allowed\": 0, \"baselined\": 0},\n",
         "    \"hot-index\": {\"deny\": 0, \"allowed\": 0, \"baselined\": 0},\n",
+        "    \"hot-alloc\": {\"deny\": 0, \"allowed\": 0, \"baselined\": 0},\n",
+        "    \"atomic-order\": {\"deny\": 0, \"allowed\": 0, \"baselined\": 0},\n",
+        "    \"lock-order\": {\"deny\": 0, \"allowed\": 0, \"baselined\": 0},\n",
+        "    \"lock-unwrap\": {\"deny\": 0, \"allowed\": 0, \"baselined\": 0},\n",
+        "    \"guard-blocking\": {\"deny\": 0, \"allowed\": 0, \"baselined\": 0},\n",
         "    \"unsafe-comment\": {\"deny\": 0, \"allowed\": 0, \"baselined\": 0}\n",
         "  },\n",
         "  \"findings\": [\n",
         "    {\"rule\": \"wall-clock\", \"family\": \"D\", \"file\": \"crates/x/src/lib.rs\", ",
         "\"line\": 7, \"column\": 13, \"status\": \"deny\", ",
         "\"message\": \"wall-clock read `Instant::now()`; use virtual SimTime\", ",
-        "\"snippet\": \"let t = Instant::now();\", \"justification\": null}\n",
+        "\"snippet\": \"let t = Instant::now();\", \"justification\": null, ",
+        "\"path\": [\"crates/x/src/lib.rs::root\", \"crates/x/src/lib.rs::leaf\"]}\n",
         "  ],\n",
         "  \"unused_allows\": []\n",
         "}\n",
@@ -261,4 +276,126 @@ fn fixture_tree_denies_under_the_cli_policy() {
             .any(|f| f.status == Status::Deny && f.file.ends_with("/good.rs")),
         "a good fixture was denied"
     );
+}
+
+#[test]
+fn transitive_fixture_fails_deny_with_its_root_path_in_json() {
+    // The seeded call chain: hot_root.rs::serve → mid.rs::mid_step →
+    // helper.rs::helper_finish, which panics. A per-file scan of
+    // helper.rs alone is clean (it is not a hot root); the workspace
+    // closure must carry hotness across both hops and report the
+    // root→…→fn path in the finding.
+    use detlint::WorkspaceOptions;
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+
+    // v1 baseline: the same roots without call-graph propagation see
+    // nothing — hot_root.rs is clean and helper.rs is not a root.
+    let v1_opts = WorkspaceOptions {
+        hot_root_files: vec!["transitive/hot_root.rs".into()],
+        alloc_roots: vec![],
+        transitive: false,
+        ..WorkspaceOptions::default()
+    };
+    let v1 = detlint::scan_workspace_with(&root, &v1_opts).expect("fixture scan succeeds");
+    assert!(
+        !v1.findings.iter().any(|f| f.file.starts_with("transitive/")),
+        "non-transitive scan should not reach helper.rs: {:?}",
+        v1.findings
+    );
+
+    let opts = WorkspaceOptions {
+        hot_root_files: vec!["transitive/hot_root.rs".into()],
+        alloc_roots: vec![],
+        ..WorkspaceOptions::default()
+    };
+    let report = detlint::scan_workspace_with(&root, &opts).expect("fixture scan succeeds");
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| {
+            f.rule == RuleId::HotPanic
+                && f.file == "transitive/helper.rs"
+                && f.status == Status::Deny
+        })
+        .expect("the seeded transitive panic was not found");
+    // `--deny` would exit non-zero on this report.
+    assert!(report.deny_count() >= 1);
+    // The reachability path names the root and every hop.
+    let path = finding.path.as_ref().expect("transitive finding carries a path");
+    assert_eq!(
+        path.as_slice(),
+        [
+            "transitive/hot_root.rs::serve",
+            "transitive/mid.rs::mid_step",
+            "transitive/helper.rs::helper_finish",
+        ],
+        "unexpected reachability path"
+    );
+    // And the path is visible in the JSON artifact CI archives.
+    assert!(
+        report
+            .render_json()
+            .contains("\"path\": [\"transitive/hot_root.rs::serve\", \"transitive/mid.rs::mid_step\", \"transitive/helper.rs::helper_finish\"]"),
+        "path missing from JSON:\n{}",
+        report.render_json()
+    );
+}
+
+#[test]
+fn workspace_findings_are_a_superset_of_v1() {
+    // The differential gate: everything the v1 per-file scan reported
+    // must still be reported by the v2 transitive scan — the call-graph
+    // machinery may only *add* findings.
+    use detlint::WorkspaceOptions;
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let v1 = detlint::scan_workspace_with(&root, &WorkspaceOptions::v1_compat())
+        .expect("v1 scan succeeds");
+    let v2 = detlint::scan_workspace(&root).expect("v2 scan succeeds");
+    let key = |f: &Finding| (f.rule, f.file.clone(), f.line, f.col);
+    let v2_keys: std::collections::BTreeSet<_> = v2.findings.iter().map(key).collect();
+    let missing: Vec<_> = v1
+        .findings
+        .iter()
+        .filter(|f| !v2_keys.contains(&key(f)))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "v2 dropped findings v1 reported:\n{missing:#?}"
+    );
+    assert!(
+        v2.findings.len() >= v1.findings.len(),
+        "v2 ({}) reported fewer findings than v1 ({})",
+        v2.findings.len(),
+        v1.findings.len()
+    );
+}
+
+#[test]
+fn counts_gate_accepts_identity_and_reports_drift() {
+    let src = fixture("wall-clock", "bad");
+    let mut report = Report {
+        findings: scan_source("fixtures/wall-clock/bad.rs", &src, &[RuleId::WallClock]).findings,
+        unused_allows: vec![],
+        files_scanned: 1,
+    };
+    report.canonicalize();
+    let counts = report.render_counts();
+    assert!(counts.contains("wall-clock\t2\t0\t0"), "{counts}");
+    // Identity: no drift against its own rendering.
+    assert!(report.check_counts(&counts).is_empty());
+    // A stale committed file names the drifted rule.
+    let stale = counts.replace("wall-clock\t2\t0\t0", "wall-clock\t0\t2\t0");
+    let drift = report.check_counts(&stale);
+    assert_eq!(drift.len(), 1, "{drift:?}");
+    assert!(drift[0].starts_with("wall-clock:"), "{drift:?}");
+    // A rule absent from the committed file is drift too.
+    let truncated: String = counts
+        .lines()
+        .filter(|l| !l.starts_with("unsafe-comment"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(!report.check_counts(&truncated).is_empty());
 }

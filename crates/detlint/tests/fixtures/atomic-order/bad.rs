@@ -1,0 +1,15 @@
+//! Fixture: `Ordering::Relaxed` on atomics that gate cross-thread
+//! control flow — the gating load, the work-claiming RMW, and the
+//! paired store people forget.
+fn worker(stop: &AtomicBool, next: &AtomicUsize, jobs: &[Job]) {
+    while !stop.load(Ordering::Relaxed) {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= jobs.len() {
+            break;
+        }
+    }
+}
+
+fn shutdown(stop: &AtomicBool) {
+    stop.store(true, Ordering::Relaxed);
+}

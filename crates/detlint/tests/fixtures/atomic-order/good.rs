@@ -1,0 +1,12 @@
+//! Fixture: Acquire/Release pairing on the gating flag, plus a Relaxed
+//! statistics counter whose result is discarded (fine).
+fn worker(stop: &AtomicBool, hits: &AtomicU64) {
+    while !stop.load(Ordering::Acquire) {
+        hits.fetch_add(1, Ordering::Relaxed);
+        step();
+    }
+}
+
+fn shutdown(stop: &AtomicBool) {
+    stop.store(true, Ordering::Release);
+}

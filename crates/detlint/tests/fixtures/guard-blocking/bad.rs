@@ -1,0 +1,13 @@
+//! Fixture: blocking calls while a `Mutex` guard is live — the channel
+//! receive and the empty-parens `JoinHandle::join()`.
+fn drain(state: &Mutex<State>, rx: &Receiver<Job>) {
+    let g = state.lock();
+    let job = rx.recv();
+    consume(g, job);
+}
+
+fn reap(state: &Mutex<State>, worker: JoinHandle<()>) {
+    let g = state.lock();
+    let r = worker.join();
+    consume(g, r);
+}

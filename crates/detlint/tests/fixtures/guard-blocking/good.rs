@@ -1,0 +1,14 @@
+//! Fixture: the guard is explicitly dropped (or only a statement-long
+//! temporary) before any blocking call.
+fn drain(state: &Mutex<State>, rx: &Receiver<Job>) {
+    let g = state.lock();
+    drop(g);
+    let job = rx.recv();
+    consume(job);
+}
+
+fn tally(state: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    state.lock().push(1);
+    let v = rx.recv();
+    consume(v);
+}

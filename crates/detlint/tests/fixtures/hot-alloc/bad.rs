@@ -1,0 +1,10 @@
+//! Fixture: heap allocation on a zero-alloc path that must be denied.
+fn respond(name: &str, peers: &Peers) -> usize {
+    let scratch = vec![0u8; 512];
+    let label = format!("{name}.cdn");
+    let mut line = String::with_capacity(64);
+    let boxed = Box::new(scratch.len());
+    let copy = name.to_string();
+    let shared = peers.table.clone();
+    line.len() + label.len() + *boxed + copy.len() + shared.len()
+}

@@ -1,0 +1,11 @@
+//! Fixture: allocation-free responses — borrows, stack buffers, and the
+//! path-call `Arc::clone` refcount bump.
+fn respond(name: &str, buf: &mut [u8; 512], table: &Arc<Table>) -> usize {
+    let shared = Arc::clone(table);
+    let mut n = 0;
+    for (i, b) in name.bytes().enumerate() {
+        buf[i] = b;
+        n += 1;
+    }
+    n + shared.len()
+}

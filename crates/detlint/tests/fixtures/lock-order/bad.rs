@@ -1,0 +1,19 @@
+//! Fixture: two paths acquire `routes`/`stats` in opposite orders
+//! (deadlock cycle), and a third re-acquires a lock it already holds.
+fn forward(routes: &Mutex<Routes>, stats: &Mutex<Stats>) {
+    let r = routes.lock();
+    let s = stats.lock();
+    consume(r, s);
+}
+
+fn report(routes: &Mutex<Routes>, stats: &Mutex<Stats>) {
+    let s = stats.lock();
+    let r = routes.lock();
+    consume(r, s);
+}
+
+fn reenter(routes: &Mutex<Routes>) {
+    let a = routes.lock();
+    let b = routes.lock();
+    consume(a, b);
+}

@@ -1,0 +1,13 @@
+//! Fixture: every path acquires in the same order — the acquisition
+//! graph has edges but no cycle.
+fn forward(routes: &Mutex<Routes>, stats: &Mutex<Stats>) {
+    let r = routes.lock();
+    let s = stats.lock();
+    consume(r, s);
+}
+
+fn evict(routes: &Mutex<Routes>, stats: &Mutex<Stats>) {
+    let r = routes.lock();
+    let s = stats.lock();
+    consume(r, s);
+}

@@ -1,0 +1,13 @@
+//! Fixture: poisoning amplifiers — one panicked holder panics every
+//! later `.unwrap()` in the fleet.
+fn bump(counter: &Mutex<u64>) {
+    *counter.lock().unwrap() += 1;
+}
+
+fn snapshot(table: &RwLock<Table>) -> usize {
+    table.read().unwrap().len()
+}
+
+fn publish(table: &RwLock<Table>, t: Table) {
+    *table.write().expect("table lock") = t;
+}

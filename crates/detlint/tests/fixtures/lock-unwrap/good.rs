@@ -1,0 +1,9 @@
+//! Fixture: poison-recovering acquisition, and `read` with arguments
+//! (`io::Read`) which is not a lock acquisition at all.
+fn bump(counter: &Mutex<u64>) {
+    *counter.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+}
+
+fn fill(stream: &mut TcpStream, buf: &mut [u8]) -> usize {
+    stream.read(buf).unwrap()
+}

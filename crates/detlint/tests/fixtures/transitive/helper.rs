@@ -1,0 +1,9 @@
+//! Fixture: the transitively-hot helper holding the seeded violation.
+//! A per-file scan of this file alone finds nothing (it is not a hot
+//! root); only the call-graph closure makes the panic a finding.
+fn helper_finish(query: &Query) -> Answer {
+    match query.answers.first() {
+        Some(a) => *a,
+        None => panic!("no answer for the query"),
+    }
+}

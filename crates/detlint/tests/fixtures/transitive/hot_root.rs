@@ -1,0 +1,5 @@
+//! Fixture: a hot-path root file. Itself clean — the violation it
+//! reaches lives two call-graph hops away in `helper.rs`.
+fn serve(query: &Query) -> Answer {
+    mid_step(query)
+}

@@ -1,0 +1,5 @@
+//! Fixture: the middle hop — innocent itself, but it carries hotness
+//! from `hot_root.rs` into `helper.rs`.
+fn mid_step(query: &Query) -> Answer {
+    helper_finish(query)
+}

@@ -101,7 +101,10 @@ pub fn run(cfg: &Config) -> Summary {
                 scope.spawn(|| {
                     let mut local = Summary::default();
                     loop {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        // AcqRel for the same reason as the experiment
+                        // runner's claim counter: the claim is the only
+                        // synchronization between workers.
+                        let c = next.fetch_add(1, Ordering::AcqRel);
                         if c >= chunks {
                             break;
                         }

@@ -358,9 +358,7 @@ impl Plugin for ForwardPlugin {
 
     fn on_query(&mut self, ctx: &QueryCtx, query: &Message) -> PluginDecision {
         let upstream = self.active_upstream(ctx.now);
-        // detlint: allow(hot-index) — `upstreams` is non-empty by
-        // construction (see `active_upstream`).
-        if upstream != self.upstreams[0].addr {
+        if self.upstreams.first().is_some_and(|u0| upstream != u0.addr) {
             ctx.telemetry.incr("dns.forward.failover");
             ctx.telemetry.mark(
                 u64::from(query.header.id),

@@ -158,6 +158,9 @@ impl DnsServer {
                 return id;
             }
         }
+        // detlint: allow(hot-panic) — the full u16 id space in flight
+        // means the workload model is broken; reusing a live id would
+        // silently cross-wire responses, which is worse than aborting.
         panic!("65535 concurrent upstream queries");
     }
 

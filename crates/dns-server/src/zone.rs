@@ -148,6 +148,9 @@ impl Zone {
     }
 
     /// Looks up `qname`/`qtype`.
+    // detlint: allow-item(hot-index) — `cuts` is a MAX_LABELS-sized
+    // stack array and `ncuts` counts parent-chain steps of a name, which
+    // the wire format caps at MAX_LABELS; the slice below reads `..ncuts`.
     pub fn lookup(&self, qname: &Name, qtype: RrType) -> LookupResult {
         let qid = qname.id();
         if !qid.is_subdomain_of(self.apex_id) {

@@ -140,6 +140,10 @@ impl Tables {
             .map(NameId)
     }
 
+    // detlint: allow-item(hot-alloc) — first-sight interning only: the
+    // canonical bytes are built once per *new* name, and the steady-state
+    // encode path (`suffix_chain` on an already-interned name) returns
+    // from `find` before reaching this branch.
     fn intern_labels(&mut self, labels: &[Vec<u8>]) -> NameId {
         // Walk suffixes shortest-first so each new entry's parent exists
         // before the entry itself; suffix ids thus form the parent chain.

@@ -96,18 +96,30 @@ impl Runner {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        // AcqRel: claiming index i must be ordered
+                        // against the other workers' claims — a Relaxed
+                        // RMW still hands out unique indices, but gives
+                        // no happens-before edge for anything the claim
+                        // is taken to imply about shared state.
+                        let i = next.fetch_add(1, Ordering::AcqRel);
                         if i >= trials {
                             break;
                         }
                         local.push((i, f(i)));
                     }
-                    done.lock().unwrap().append(&mut local);
+                    // A worker that panicked mid-trial poisons `done`;
+                    // the surviving workers' results are still wanted
+                    // (the merge below asserts completeness anyway).
+                    done.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .append(&mut local);
                 });
             }
         });
 
-        let mut indexed = done.into_inner().unwrap();
+        let mut indexed = done
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         indexed.sort_by_key(|(i, _)| *i);
         // Hard assert, not debug_assert: a lost trial would silently
         // truncate (and index-shift) results in release builds, which is

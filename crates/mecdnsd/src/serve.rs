@@ -201,7 +201,11 @@ impl ServerHandle {
     /// Raises the shutdown flag, joins every shard, and returns the
     /// merged report. Shards notice the flag within [`POLL`].
     pub fn stop(self) -> ServeReport {
-        self.stop.store(true, Ordering::Relaxed);
+        // Release pairs with the shards' Acquire loads: everything this
+        // thread wrote before raising the flag (config swaps, cache
+        // state) is visible to a shard by the time it sees `true` and
+        // starts its drain-and-exit path.
+        self.stop.store(true, Ordering::Release);
         let mut total = ServeReport::default();
         for shard in self.shards {
             match shard.join() {
@@ -280,7 +284,7 @@ fn shard_loop(
     // serves what it already drained and retires alone — the rest of
     // the fleet keeps serving.
     let mut retire = false;
-    while !retire && !stop.load(Ordering::Relaxed) {
+    while !retire && !stop.load(Ordering::Acquire) {
         // First datagram: blocking, bounded by POLL so shutdown is
         // always noticed. Transient per-datagram failures — a Linux
         // ECONNREFUSED surfaced by an ICMP unreachable for an earlier

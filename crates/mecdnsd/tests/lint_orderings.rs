@@ -1,0 +1,30 @@
+//! Regression gate for the serve-loop shutdown flag.
+//!
+//! `ServerHandle::stop` sets an `AtomicBool` that every shard loop
+//! polls, so the flag gates cross-thread control flow: the store must
+//! be `Release` and the loads `Acquire`. Both sides were once
+//! `Relaxed` — invisible on x86's strong memory model, a latent
+//! never-terminating fleet elsewhere — and this test pins the fix by
+//! running detlint's `atomic-order` rule over the file.
+
+use detlint::engine::{scan_source, Status};
+use detlint::rules::RuleId;
+
+#[test]
+fn serve_loop_stop_flag_keeps_release_acquire_ordering() {
+    let src = include_str!("../src/serve.rs");
+    let res = scan_source("crates/mecdnsd/src/serve.rs", src, &[RuleId::AtomicOrder]);
+    let denied: Vec<_> = res
+        .findings
+        .iter()
+        .filter(|f| f.status == Status::Deny)
+        .collect();
+    assert!(
+        denied.is_empty(),
+        "Relaxed ordering crept back onto a gating atomic in the serve loop:\n{denied:#?}"
+    );
+    // Guard against the rule being sidestepped: the paired sites must
+    // still exist, with the strong orderings spelled out.
+    assert!(src.contains("self.stop.store(true, Ordering::Release)"));
+    assert!(src.contains("stop.load(Ordering::Acquire)"));
+}

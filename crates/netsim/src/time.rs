@@ -107,6 +107,9 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // detlint: allow(hot-panic) — a negative duration means
+                // the event scheduler delivered out of order: an internal
+                // invariant violation that must not be papered over.
                 .expect("SimTime::since: earlier instant is in the future"),
         )
     }

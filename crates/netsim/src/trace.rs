@@ -53,10 +53,9 @@ pub struct TapRecord {
 impl TapRecord {
     /// Extracts the id hint from a payload.
     pub fn hint_of(payload: &[u8]) -> Option<u16> {
-        if payload.len() >= 2 {
-            Some(u16::from(payload[0]) << 8 | u16::from(payload[1]))
-        } else {
-            None
+        match payload {
+            [hi, lo, ..] => Some(u16::from(*hi) << 8 | u16::from(*lo)),
+            _ => None,
         }
     }
 }

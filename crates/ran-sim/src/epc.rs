@@ -124,6 +124,9 @@ impl PgwNat {
                 return p;
             }
         }
+        // detlint: allow(hot-panic) — 45k simultaneous NAT bindings
+        // exhausted: a broken workload, and reusing a bound port would
+        // silently mis-route responses.
         panic!("NAT port pool exhausted");
     }
 }
